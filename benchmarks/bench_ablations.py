@@ -1,0 +1,52 @@
+"""Benchmarks for the ablation studies (beyond the paper's figures)."""
+
+from conftest import run_experiment
+
+
+def test_ablation_arbiters(benchmark, bench_requests):
+    output = run_experiment(benchmark, "ablation_arbiters", bench_requests)
+    delta = output.data["delta"]
+    # distance-based arbitration must not catastrophically regress any
+    # of the studied configurations
+    for config_row in delta.values():
+        assert config_row["distance"] > -10.0
+
+
+def test_ablation_interleave(benchmark, bench_requests):
+    output = run_experiment(benchmark, "ablation_interleave", bench_requests)
+    grid = output.data["grid"]
+    # 64 B interleaving destroys row-buffer locality relative to 256 B
+    for workload_rows in grid.values():
+        assert workload_rows[64]["row_hit_rate"] <= (
+            workload_rows[256]["row_hit_rate"] + 1.0
+        )
+
+
+def test_ablation_serdes(benchmark, bench_requests):
+    output = run_experiment(benchmark, "ablation_serdes", bench_requests)
+    slowdown = output.data["slowdown"]
+    # 10 ns SerDes hurts, and hurts the chain (most hops) more than the
+    # tree — the paper's Section 5 sensitivity statement.
+    assert slowdown["100%-C"][10.0] > slowdown["100%-C"][2.0]
+    assert slowdown["100%-C"][10.0] > slowdown["100%-T"][10.0]
+
+
+def test_ablation_ratio(benchmark, bench_requests):
+    output = run_experiment(benchmark, "ablation_ratio", bench_requests)
+    averages = output.data["averages"]
+    # every tree mix beats the all-DRAM chain baseline
+    assert all(value > 0 for value in averages.values())
+
+
+def test_ablation_window(benchmark, bench_requests):
+    output = run_experiment(benchmark, "ablation_window", bench_requests)
+    grid = output.data["grid"]
+    # topology benefit exists at small windows
+    assert grid[8]["100%-MC"] > 0
+
+
+def test_ablation_buffers(benchmark, bench_requests):
+    output = run_experiment(benchmark, "ablation_buffers", bench_requests)
+    grid = output.data["grid"]
+    # starving the chain of buffers cannot *help* it
+    assert grid["100%-C"][1] <= grid["100%-C"][16] + 3.0

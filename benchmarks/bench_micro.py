@@ -1,0 +1,73 @@
+"""Microbenchmarks of the simulator's hot paths."""
+
+from repro.config import SystemConfig
+from repro.host.address_map import AddressMap
+from repro.sim.engine import Engine
+from repro.system import MemoryNetworkSystem
+from repro.units import GIB_BYTES, TIB_BYTES
+from repro.workloads import SyntheticWorkload, WorkloadSpec, get_workload
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+        counter = [0]
+
+        def tick(eng):
+            counter[0] += 1
+            if counter[0] < 10_000:
+                eng.schedule(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return counter[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_address_decode_throughput(benchmark):
+    amap = AddressMap(
+        [16 * GIB_BYTES] * 8 + [64 * GIB_BYTES] * 2, 256, 2048, 256, 4
+    )
+
+    def decode_many():
+        total = 0
+        for block in range(10_000):
+            total += amap.decode((block * 4421 * 256) % amap.total_bytes).bank
+        return total
+
+    benchmark(decode_many)
+
+
+def test_workload_generation_throughput(benchmark):
+    spec = get_workload("KMEANS")
+
+    def generate():
+        workload = SyntheticWorkload(spec, 256 * GIB_BYTES, seed=1)
+        return sum(1 for _ in zip(range(20_000), workload))
+
+    assert benchmark(generate) == 20_000
+
+
+def test_end_to_end_simulation_rate(benchmark):
+    """Transactions simulated per benchmark round on the paper system."""
+    spec = get_workload("KMEANS")
+
+    def simulate_once():
+        system = MemoryNetworkSystem(
+            SystemConfig(topology="tree"), spec, requests=1_000
+        )
+        return system.run().transactions
+
+    assert benchmark.pedantic(simulate_once, rounds=1, iterations=1) == 1_000
+
+
+def test_system_construction_cost(benchmark):
+    """Building (not running) the largest topology in the study."""
+    spec = get_workload("KMEANS")
+    config = SystemConfig(topology="metacube")
+
+    def build():
+        return MemoryNetworkSystem(config, spec, requests=1)
+
+    benchmark(build)

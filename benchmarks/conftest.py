@@ -1,0 +1,36 @@
+"""Benchmark configuration.
+
+Each figure benchmark regenerates the corresponding paper table once
+(``pedantic`` with a single round — these are minutes-long experiment
+harnesses, not microseconds-long kernels) and prints the rows so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation.
+
+``REPRO_BENCH_REQUESTS`` scales the per-run request count (default
+1000; the paper-quality setting used in EXPERIMENTS.md is 2000).
+"""
+
+import os
+
+import pytest
+
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "1000"))
+
+
+@pytest.fixture(scope="session")
+def bench_requests() -> int:
+    return BENCH_REQUESTS
+
+
+def run_experiment(benchmark, experiment_id: str, requests: int):
+    """Run one experiment under pytest-benchmark and print its table."""
+    from repro.experiments import get_experiment
+
+    run = get_experiment(experiment_id)
+    output = benchmark.pedantic(
+        lambda: run(requests=requests), rounds=1, iterations=1
+    )
+    print()
+    print(output.text)
+    if output.notes:
+        print(f"Note: {output.notes}")
+    return output

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Bring your own workload: custom specs and trace replay.
+
+Shows the two extension points for user workloads:
+
+1. a custom :class:`WorkloadSpec` (a pointer-chasing proxy with low MLP
+   and no locality — the opposite of the paper's GPU suite);
+2. capturing its request stream into a :class:`Trace`, saving/loading
+   it, and replaying the *identical* stream across two MN designs so
+   the comparison is noise-free.
+
+Usage:  python examples/custom_workload_trace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    SystemConfig,
+    SyntheticWorkload,
+    Trace,
+    TraceWorkload,
+    WorkloadSpec,
+)
+from repro.system import MemoryNetworkSystem
+
+POINTER_CHASE = WorkloadSpec(
+    name="PTRCHASE",
+    read_fraction=0.95,
+    mean_gap_ns=6.0,
+    locality_lines=1.0,  # no spatial locality at all
+    mlp=4,  # dependent loads: almost no MLP
+    burst_size=1.0,
+    description="latency-bound pointer chasing (custom)",
+)
+
+REQUESTS = 1500
+
+
+def run_with_trace(config: SystemConfig, trace: Trace):
+    system = MemoryNetworkSystem(
+        config,
+        POINTER_CHASE,
+        requests=REQUESTS,
+        workload_iter=TraceWorkload(trace),
+    )
+    return system.run()
+
+
+def main() -> None:
+    # capture a trace sized for the per-port address space
+    probe = MemoryNetworkSystem(SystemConfig(), POINTER_CHASE, requests=1)
+    generator = SyntheticWorkload(
+        POINTER_CHASE, probe.address_map.total_bytes, seed=2026
+    )
+    trace = Trace.capture(generator, REQUESTS)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ptrchase.trace"
+        trace.save(path)
+        print(f"captured {len(trace)} requests "
+              f"({trace.write_fraction() * 100:.0f}% writes) -> {path.name}")
+        replayed = Trace.load(path)
+
+    chain = run_with_trace(SystemConfig(topology="chain"), replayed)
+    metacube = run_with_trace(SystemConfig(topology="metacube"), replayed)
+
+    print()
+    for result in (chain, metacube):
+        print(f"{result.config_label:>8}: runtime {result.runtime_ns/1000:8.2f} us, "
+              f"mean latency {result.mean_latency_ns:6.1f} ns, "
+              f"mean hops {result.collector.request_hops.mean:.2f}")
+    gain = (chain.runtime_ps / metacube.runtime_ps - 1) * 100
+    print()
+    print(f"MetaCube gains {gain:.1f}% on a latency-bound pointer chase —")
+    print("low-MLP workloads feel every hop, which is exactly why the")
+    print("paper attacks MN diameter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Why memory networks at all? The DDR capacity/bandwidth wall.
+
+Reproduces the Section 2.1 motivation: on a multi-drop DDR bus, adding
+DIMMs for capacity lowers the bus speed, while a memory network scales
+capacity by adding cubes at full link speed (at the price of hops,
+which the rest of this package is about optimizing).
+
+Usage:  python examples/ddr_vs_mn.py
+"""
+
+from repro import SystemConfig, get_workload, simulate
+from repro.analysis import render_table
+from repro.ddr import DDR4, DdrBusModel
+from repro.units import TIB_BYTES
+
+
+def main() -> None:
+    print("DDR4, four channels, growing capacity by adding DIMMs:")
+    model = DdrBusModel(DDR4, dimm_capacity_gib=32)
+    rows = [
+        [
+            f"{int(p['dimms_per_channel'])} DPC",
+            f"{p['capacity_gib']:.0f} GiB",
+            f"{p['bandwidth_gbs']:.1f} GB/s",
+            f"{p['gbs_per_pin'] * 1000:.1f} MB/s/pin",
+        ]
+        for p in model.frontier(channels=4)
+    ]
+    print(render_table(["config", "capacity", "bandwidth", "per-pin"], rows))
+
+    print()
+    print("A memory network instead grows capacity at constant link speed;")
+    print("the cost is network latency, which topology choices control:")
+    workload = get_workload("MATRIXMUL")
+    rows = []
+    for capacity_tib, topology in ((1, "chain"), (2, "chain"), (2, "tree")):
+        config = SystemConfig(
+            topology=topology, total_capacity_bytes=capacity_tib * TIB_BYTES
+        )
+        result = simulate(config, workload, requests=1500)
+        rows.append(
+            [
+                f"{capacity_tib} TiB {result.config_label}",
+                f"{config.cubes_per_port * config.host.num_ports} cubes",
+                f"{result.mean_latency_ns:.1f} ns",
+                f"{result.runtime_ns / 1000:.2f} us",
+            ]
+        )
+    print(render_table(["MN system", "size", "mean latency", "runtime"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hybrid-memory design study: how much NVM, and where to put it?
+
+For a chosen workload, sweeps the DRAM:NVM capacity ratio and both NVM
+placements (near the host vs at the network edge) on the tree topology,
+and reports the performance/energy frontier — the Section 3.3 trade-off
+between memory-array latency and network size.
+
+Usage:  python examples/nvm_placement_study.py [WORKLOAD]
+"""
+
+import sys
+
+from repro import NVM_FIRST, NVM_LAST, SystemConfig, get_workload, simulate
+from repro.analysis import render_table
+from repro.errors import ConfigError
+
+FRACTIONS = (1.0, 0.75, 0.5, 0.25, 0.0)
+
+
+def main() -> None:
+    workload = get_workload(sys.argv[1] if len(sys.argv) > 1 else "KMEANS")
+    requests = 2000
+    baseline = simulate(
+        SystemConfig(topology="chain"), workload, requests=requests
+    )
+
+    rows = []
+    best = None
+    for fraction in FRACTIONS:
+        placements = (
+            [NVM_LAST, NVM_FIRST] if 0 < fraction < 1 else [NVM_LAST]
+        )
+        for placement in placements:
+            config = SystemConfig(
+                topology="tree", dram_fraction=fraction, nvm_placement=placement
+            )
+            try:
+                n_dram, n_nvm = config.cube_counts()
+            except ConfigError:
+                continue  # ratio does not decompose into whole cubes
+            result = simulate(config, workload, requests=requests)
+            speedup = (baseline.runtime_ps / result.runtime_ps - 1) * 100
+            energy_uj = result.energy.total_pj / 1e6
+            rows.append(
+                [
+                    result.config_label,
+                    f"{n_dram}+{n_nvm}",
+                    f"{speedup:+.1f}%",
+                    f"{result.mean_latency_ns:.1f}",
+                    f"{result.collector.request_hops.mean:.2f}",
+                    f"{energy_uj:.2f}",
+                ]
+            )
+            if best is None or result.runtime_ps < best[1].runtime_ps:
+                best = (result.config_label, result)
+
+    print(
+        render_table(
+            ["config", "cubes (D+N)", "speedup vs 100%-C", "latency (ns)",
+             "mean hops", "energy (uJ)"],
+            rows,
+            title=f"NVM ratio/placement study on {workload.name}",
+        )
+    )
+    print()
+    print(f"Best configuration for {workload.name}: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

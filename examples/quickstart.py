@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on one memory network.
+
+Builds the paper's baseline system (2 TB behind 8 ports, 16 GB DRAM
+cubes, chain topology), runs the KMEANS proxy workload, and prints the
+headline metrics — then does the same on a tree to show the speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, get_workload, simulate
+
+
+def main() -> None:
+    workload = get_workload("KMEANS")
+    requests = 2000
+
+    print("Simulating the paper's baseline chain MN ...")
+    chain = simulate(SystemConfig(topology="chain"), workload, requests=requests)
+
+    print("Simulating a ternary-tree MN ...")
+    tree = simulate(SystemConfig(topology="tree"), workload, requests=requests)
+
+    for result in (chain, tree):
+        breakdown = result.collector.all
+        print()
+        print(f"configuration   : {result.config_label}")
+        print(f"runtime         : {result.runtime_ns / 1000:.2f} us "
+              f"for {result.transactions} requests")
+        print(f"memory latency  : {breakdown.total_ns:.1f} ns mean "
+              f"(to={breakdown.to_memory_ns:.1f}, in={breakdown.in_memory_ns:.1f}, "
+              f"from={breakdown.from_memory_ns:.1f})")
+        print(f"hops (req/resp) : {result.collector.request_hops.mean:.2f} / "
+              f"{result.collector.response_hops.mean:.2f}")
+        print(f"row-buffer hits : {result.row_hit_rate * 100:.1f}%")
+        print(f"dynamic energy  : {result.energy.total_pj / 1e6:.2f} uJ")
+
+    print()
+    speedup = chain.runtime_ps / tree.runtime_ps - 1
+    print(f"Tree speedup over chain: {speedup * 100:.1f}% "
+          "(the paper's Fig 4 effect)")
+
+
+if __name__ == "__main__":
+    main()

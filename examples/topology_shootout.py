@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare all five MN topologies on a workload of your choice.
+
+Usage:  python examples/topology_shootout.py [WORKLOAD] [REQUESTS]
+        python examples/topology_shootout.py BACKPROP 3000
+
+Prints runtime, latency breakdown, link-level hop costs, and energy for
+chain, ring, tree, skip-list, and MetaCube — the full topology design
+space of the paper.
+"""
+
+import sys
+
+from repro import SystemConfig, get_workload, simulate
+from repro.analysis import render_table
+
+TOPOLOGIES = ["chain", "ring", "tree", "skiplist", "metacube"]
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "BACKPROP"
+    requests = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+    workload = get_workload(workload_name)
+
+    results = {}
+    for topology in TOPOLOGIES:
+        config = SystemConfig(topology=topology)
+        results[topology] = simulate(config, workload, requests=requests)
+
+    baseline = results["chain"]
+    rows = []
+    for topology in TOPOLOGIES:
+        result = results[topology]
+        breakdown = result.collector.all
+        rows.append(
+            [
+                result.config_label,
+                f"{result.runtime_ns / 1000:.2f}",
+                f"{(baseline.runtime_ps / result.runtime_ps - 1) * 100:+.1f}%",
+                f"{breakdown.total_ns:.1f}",
+                f"{result.collector.request_hops.mean:.2f}",
+                f"{result.energy.total_pj / 1e6:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["config", "runtime (us)", "speedup", "latency (ns)",
+             "mean hops", "energy (uJ)"],
+            rows,
+            title=f"Topology shootout on {workload.name} "
+            f"({requests} requests/port): {workload.description}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

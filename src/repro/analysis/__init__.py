@@ -1,0 +1,7 @@
+"""Result analysis: tables, speedup grids, latency breakdowns."""
+
+from repro.analysis.tables import render_table, format_percent
+from repro.analysis.speedup import SpeedupGrid
+from repro.analysis.breakdown import breakdown_rows
+
+__all__ = ["render_table", "format_percent", "SpeedupGrid", "breakdown_rows"]

@@ -1,0 +1,42 @@
+"""Latency-breakdown helpers (Fig 5 style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.results import SimResult
+
+
+def breakdown_rows(
+    results: Sequence[SimResult], normalize_to: str = ""
+) -> List[Dict[str, object]]:
+    """Rows of (config, to/in/from memory in ns and as fractions).
+
+    If ``normalize_to`` names a config label, all latencies are also
+    reported relative to that config's total (the paper normalizes each
+    workload's breakdown to the chain's total latency).
+    """
+    reference_total = None
+    if normalize_to:
+        for result in results:
+            if result.config_label == normalize_to:
+                reference_total = result.collector.all.total_ns or 1.0
+                break
+    rows = []
+    for result in results:
+        breakdown = result.collector.all
+        row: Dict[str, object] = {
+            "config": result.config_label,
+            "workload": result.workload,
+            "to_memory_ns": breakdown.to_memory_ns,
+            "in_memory_ns": breakdown.in_memory_ns,
+            "from_memory_ns": breakdown.from_memory_ns,
+            "total_ns": breakdown.total_ns,
+        }
+        if reference_total:
+            row["relative_total"] = breakdown.total_ns / reference_total
+            row["rel_to"] = breakdown.to_memory_ns / reference_total
+            row["rel_in"] = breakdown.in_memory_ns / reference_total
+            row["rel_from"] = breakdown.from_memory_ns / reference_total
+        rows.append(row)
+    return rows

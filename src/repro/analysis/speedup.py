@@ -1,0 +1,80 @@
+"""Speedup grids: workloads x configurations, normalized to a baseline."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.config import SystemConfig, parse_label
+from repro.results import SimResult
+from repro.system import simulate
+from repro.workloads import WorkloadSpec
+
+
+class SpeedupGrid:
+    """Run a set of MN configurations over a workload suite.
+
+    Results are cached by (config label, workload, arbiter) so a
+    baseline shared by several figures is only simulated once.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[WorkloadSpec],
+        requests: int = 2000,
+        base_config: Optional[SystemConfig] = None,
+        config_fn: Optional[Callable[[str], SystemConfig]] = None,
+    ) -> None:
+        self.workloads = list(workloads)
+        self.requests = requests
+        self.base_config = base_config or SystemConfig()
+        self.config_fn = config_fn or (
+            lambda label: parse_label(label, self.base_config)
+        )
+        self._cache: Dict[Tuple, SimResult] = {}
+
+    # ------------------------------------------------------------------
+    def result(self, label: str, workload: WorkloadSpec) -> SimResult:
+        config = self.config_fn(label)
+        key = (label, workload.name, config.arbiter, config.seed, self.requests)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = simulate(config, workload, requests=self.requests)
+            self._cache[key] = cached
+        return cached
+
+    def speedups(
+        self, labels: Sequence[str], baseline_label: str
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-workload percent speedup of each label over the baseline."""
+        grid: Dict[str, Dict[str, float]] = {}
+        for workload in self.workloads:
+            base = self.result(baseline_label, workload)
+            grid[workload.name] = {
+                label: self.result(label, workload).speedup_over(base) * 100.0
+                for label in labels
+            }
+        return grid
+
+    def averages(
+        self, grid: Dict[str, Dict[str, float]], labels: Sequence[str]
+    ) -> Dict[str, float]:
+        count = len(grid) or 1
+        return {
+            label: sum(row[label] for row in grid.values()) / count
+            for label in labels
+        }
+
+    def render(
+        self,
+        labels: Sequence[str],
+        baseline_label: str,
+        title: str = "",
+    ) -> str:
+        grid = self.speedups(labels, baseline_label)
+        rows: List[List[object]] = []
+        for name, row in grid.items():
+            rows.append([name] + [f"{row[label]:+.1f}%" for label in labels])
+        averages = self.averages(grid, labels)
+        rows.append(["average"] + [f"{averages[label]:+.1f}%" for label in labels])
+        return render_table(["workload"] + list(labels), rows, title=title)

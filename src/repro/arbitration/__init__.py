@@ -1,0 +1,28 @@
+"""Router output arbitration schemes.
+
+The paper's baseline is a locally-fair round-robin that causes the
+"parking lot problem" (Section 3.2/4.1).  The contribution is
+distance-based arbitration — using a message's topological distance as
+a proxy for its age — later *enhanced* with awareness of request type
+and of the memory technology at the message's source (Section 5.3).
+Two idealized baselines from the Section 4.1 discussion (true-age and
+globally weighted round-robin) are provided for ablations.
+"""
+
+from repro.arbitration.base import ArbiterContext, OutputArbiter
+from repro.arbitration.round_robin import RoundRobinArbiter
+from repro.arbitration.distance import DistanceArbiter, EnhancedDistanceArbiter
+from repro.arbitration.age import AgeArbiter
+from repro.arbitration.global_weighted import GlobalWeightedArbiter
+from repro.arbitration.factory import make_arbiter_factory
+
+__all__ = [
+    "ArbiterContext",
+    "OutputArbiter",
+    "RoundRobinArbiter",
+    "DistanceArbiter",
+    "EnhancedDistanceArbiter",
+    "AgeArbiter",
+    "GlobalWeightedArbiter",
+    "make_arbiter_factory",
+]

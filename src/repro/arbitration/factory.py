@@ -1,0 +1,36 @@
+"""Construct per-output arbiters by configured scheme name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import config as cfg
+from repro.arbitration.age import AgeArbiter
+from repro.arbitration.base import ArbiterContext, OutputArbiter
+from repro.arbitration.distance import DistanceArbiter, EnhancedDistanceArbiter
+from repro.arbitration.global_weighted import GlobalWeightedArbiter
+from repro.arbitration.round_robin import RoundRobinArbiter
+from repro.errors import ConfigError
+
+_SCHEMES = {
+    cfg.ARBITER_ROUND_ROBIN: RoundRobinArbiter,
+    cfg.ARBITER_DISTANCE: DistanceArbiter,
+    cfg.ARBITER_DISTANCE_ENHANCED: EnhancedDistanceArbiter,
+    cfg.ARBITER_AGE: AgeArbiter,
+    cfg.ARBITER_GLOBAL_WEIGHTED: GlobalWeightedArbiter,
+}
+
+
+def make_arbiter_factory(
+    scheme: str, context: ArbiterContext
+) -> Callable[[], OutputArbiter]:
+    """Return a zero-argument factory producing fresh arbiter instances.
+
+    Each router output gets its own instance so rotation pointers and
+    deficit counters are independent, as in hardware.
+    """
+    try:
+        klass = _SCHEMES[scheme]
+    except KeyError:
+        raise ConfigError(f"unknown arbitration scheme {scheme!r}") from None
+    return lambda: klass(context)

@@ -1,0 +1,5 @@
+"""Conventional DDR bus model (Section 2.1 motivation, Table 1)."""
+
+from repro.ddr.bus import DdrBusModel, DDR3, DDR4
+
+__all__ = ["DdrBusModel", "DDR3", "DDR4"]

@@ -1,0 +1,106 @@
+"""The capacity/bandwidth trade-off of multi-drop DDR buses.
+
+Table 1 of the paper: as DIMMs-per-channel (DPC) grows, electrical
+loading forces the bus clock down.  This module reproduces that table
+and quantifies the resulting capacity-vs-bandwidth frontier that
+motivates memory networks (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DdrGeneration:
+    """One DDR generation's DPC -> max bus clock (MHz) schedule."""
+
+    name: str
+    pins_per_channel: int
+    bus_width_bits: int
+    speed_by_dpc: Tuple[Tuple[int, int], ...]  # (dpc, MHz)
+
+    def max_speed_mhz(self, dimms_per_channel: int) -> int:
+        if dimms_per_channel < 1:
+            raise ConfigError("need at least one DIMM")
+        best = None
+        for dpc, mhz in self.speed_by_dpc:
+            if dpc <= dimms_per_channel:
+                best = mhz
+        if best is None:
+            raise ConfigError("no speed entry for this DPC")
+        supported = max(dpc for dpc, _ in self.speed_by_dpc)
+        if dimms_per_channel > supported:
+            raise ConfigError(
+                f"{self.name} supports at most {supported} DIMMs per channel"
+            )
+        # speeds are listed per exact DPC; pick the matching entry
+        for dpc, mhz in self.speed_by_dpc:
+            if dpc == dimms_per_channel:
+                return mhz
+        raise ConfigError(f"no entry for {dimms_per_channel} DPC")
+
+
+# Table 1 of the paper (DDR3 from [10], DDR4 from [15]).
+DDR3 = DdrGeneration(
+    name="DDR3",
+    pins_per_channel=240,
+    bus_width_bits=64,
+    speed_by_dpc=((1, 1333), (2, 1066), (3, 800)),
+)
+
+DDR4 = DdrGeneration(
+    name="DDR4",
+    pins_per_channel=288,
+    bus_width_bits=64,
+    speed_by_dpc=((1, 2133), (2, 2133), (3, 1866)),
+)
+
+
+class DdrBusModel:
+    """Bandwidth/capacity accounting for a multi-channel DDR system."""
+
+    def __init__(self, generation: DdrGeneration, dimm_capacity_gib: int = 32):
+        if dimm_capacity_gib <= 0:
+            raise ConfigError("DIMM capacity must be positive")
+        self.generation = generation
+        self.dimm_capacity_gib = dimm_capacity_gib
+
+    def channel_bandwidth_gbs(self, dimms_per_channel: int) -> float:
+        """Peak bandwidth of one channel in GB/s (DDR: 2 transfers/clock)."""
+        mhz = self.generation.max_speed_mhz(dimms_per_channel)
+        transfers_per_second = mhz * 1e6 * 2
+        return transfers_per_second * self.generation.bus_width_bits / 8 / 1e9
+
+    def system(
+        self, channels: int, dimms_per_channel: int
+    ) -> Dict[str, float]:
+        """Capacity/bandwidth/pins summary for a full system."""
+        if channels < 1:
+            raise ConfigError("need at least one channel")
+        bandwidth = self.channel_bandwidth_gbs(dimms_per_channel) * channels
+        capacity = self.dimm_capacity_gib * dimms_per_channel * channels
+        pins = self.generation.pins_per_channel * channels
+        return {
+            "channels": channels,
+            "dimms_per_channel": dimms_per_channel,
+            "capacity_gib": capacity,
+            "bandwidth_gbs": bandwidth,
+            "pins": pins,
+            "gbs_per_pin": bandwidth / pins,
+        }
+
+    def frontier(self, channels: int) -> List[Dict[str, float]]:
+        """The capacity-vs-bandwidth frontier as DPC grows."""
+        supported = sorted({dpc for dpc, _ in self.generation.speed_by_dpc})
+        return [self.system(channels, dpc) for dpc in supported]
+
+
+def table1_rows() -> List[Tuple[int, int, int]]:
+    """(DPC, DDR3 MHz, DDR4 MHz) rows exactly as in Table 1."""
+    return [
+        (dpc, DDR3.max_speed_mhz(dpc), DDR4.max_speed_mhz(dpc)) for dpc in (1, 2, 3)
+    ]

@@ -1,0 +1,5 @@
+"""Dynamic-energy accounting (Section 6.3)."""
+
+from repro.energy.model import EnergyModel
+
+__all__ = ["EnergyModel"]

@@ -1,0 +1,57 @@
+"""Dynamic-energy model using the paper's per-bit figures.
+
+* network transport: 5 pJ/bit per hop (per link traversal);
+* on-interposer hops inside a MetaCube are far shorter and unserialized
+  — charged at a configurable fraction (default 1 pJ/bit);
+* memory access: 12 pJ/bit for DRAM reads/writes and NVM reads,
+  120 pJ/bit for NVM writes (Table 2).
+
+Static/standby power is excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.config import EnergyConfig, MemTechConfig, PacketConfig
+from repro.results import EnergyReport
+
+INTERPOSER_PJ_PER_BIT = 1.0
+
+
+class EnergyModel:
+    """Folds traffic counts into an :class:`EnergyReport`."""
+
+    def __init__(
+        self,
+        energy_config: EnergyConfig,
+        packet_config: PacketConfig,
+        interposer_pj_per_bit: float = INTERPOSER_PJ_PER_BIT,
+    ) -> None:
+        self.energy_config = energy_config
+        self.packet_config = packet_config
+        self.interposer_pj_per_bit = interposer_pj_per_bit
+
+    def report(
+        self,
+        external_bits_hops: int,
+        interposer_bits_hops: int,
+        accesses: Iterable[Tuple[MemTechConfig, int, int]],
+    ) -> EnergyReport:
+        """Build a report.
+
+        ``accesses`` yields ``(tech, reads, writes)`` per cube; each
+        access moves one payload (64 B line) worth of bits.
+        """
+        payload_bits = self.packet_config.payload_bytes * 8
+        report = EnergyReport()
+        report.network_pj = (
+            external_bits_hops * self.energy_config.network_pj_per_bit_hop
+        )
+        report.interposer_pj = interposer_bits_hops * self.interposer_pj_per_bit
+        for tech, reads, writes in accesses:
+            report.memory_read_pj += reads * payload_bits * tech.read_energy_pj_per_bit
+            report.memory_write_pj += (
+                writes * payload_bits * tech.write_energy_pj_per_bit
+            )
+        return report

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class TopologyError(ReproError):
+    """A topology cannot be constructed (port budget, cube count, ...)."""
+
+
+class RoutingError(ReproError):
+    """No route exists for a packet, or a route table is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid state (deadlock, lost packet)."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification or trace is invalid."""

@@ -1,0 +1,12 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``figNN``/``tableNN`` module exposes ``run(...) -> ExperimentOutput``
+whose ``text`` is the printable table and whose ``data`` holds the raw
+series.  ``python -m repro.experiments <id>`` runs one from the shell;
+see :mod:`repro.experiments.registry` for the full index.
+"""
+
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.registry import EXPERIMENTS, get_experiment, experiment_ids
+
+__all__ = ["ExperimentOutput", "EXPERIMENTS", "get_experiment", "experiment_ids"]

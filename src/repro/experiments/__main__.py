@@ -1,0 +1,61 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment
+from repro.workloads import PAPER_SUITE, get_workload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig04), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=2000,
+        help="memory requests simulated per run (default 2000)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default="",
+        help="comma-separated subset of workloads (default: all eight)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    workloads = None
+    if args.workloads:
+        workloads = [get_workload(name) for name in args.workloads.split(",")]
+
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        run = get_experiment(experiment_id)
+        started = time.time()
+        output = run(requests=args.requests, workloads=workloads)
+        elapsed = time.time() - started
+        print(output.text)
+        if output.notes:
+            print()
+            print(f"Note: {output.notes}")
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Shared plumbing for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.workloads import PAPER_SUITE, WorkloadSpec
+
+DEFAULT_REQUESTS = 2000
+
+# The 12 baseline configurations of Fig 10 (chain/ring/tree x mixes).
+BASELINE_CONFIGS = [
+    "100%-C",
+    "100%-R",
+    "100%-T",
+    "50%-C (NVM-L)",
+    "50%-R (NVM-L)",
+    "50%-T (NVM-L)",
+    "50%-C (NVM-F)",
+    "50%-R (NVM-F)",
+    "50%-T (NVM-F)",
+    "0%-C",
+    "0%-R",
+    "0%-T",
+]
+
+# The 12 proposed-topology configurations of Figs 11/12.
+PROPOSED_CONFIGS = [
+    "100%-T",
+    "100%-SL",
+    "100%-MC",
+    "50%-T (NVM-L)",
+    "50%-SL (NVM-L)",
+    "50%-MC (NVM-L)",
+    "50%-T (NVM-F)",
+    "50%-SL (NVM-F)",
+    "50%-MC (NVM-F)",
+    "0%-T",
+    "0%-SL",
+    "0%-MC",
+]
+
+NORMALIZATION_BASELINE = "100%-C"
+
+
+@dataclass
+class ExperimentOutput:
+    """The product of one experiment run."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        parts = [self.text]
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def series(self) -> Dict[str, Dict[str, float]]:
+        """The primary two-level {row: {column: value}} series, if any."""
+        for key in ("speedups", "delta", "relative_energy", "grid", "breakdown"):
+            value = self.data.get(key)
+            if isinstance(value, dict) and value:
+                first = next(iter(value.values()))
+                if isinstance(first, dict):
+                    return value  # type: ignore[return-value]
+        return {}
+
+    def save_csv(self, path) -> None:
+        """Write the primary series as CSV (rows x columns)."""
+        import csv
+        from pathlib import Path
+
+        series = self.series()
+        with Path(path).open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            if not series:
+                writer.writerow(["experiment", self.experiment_id])
+                return
+            columns = sorted(
+                {str(col) for row in series.values() for col in row}
+            )
+            writer.writerow([self.experiment_id] + columns)
+            for row_name, row in series.items():
+                writer.writerow(
+                    [row_name]
+                    + [
+                        _csv_cell(row.get(col, row.get(_maybe_num(col), "")))
+                        for col in columns
+                    ]
+                )
+
+
+def _maybe_num(text: str):
+    try:
+        return float(text)
+    except (TypeError, ValueError):
+        return text
+
+
+def _csv_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, dict):
+        return ";".join(f"{k}={_csv_cell(v)}" for k, v in value.items())
+    return str(value)
+
+
+def suite(workloads: Optional[Sequence[WorkloadSpec]] = None) -> List[WorkloadSpec]:
+    """The workload list an experiment should run (defaults to all eight)."""
+    if workloads is None:
+        return list(PAPER_SUITE.values())
+    return list(workloads)
+
+
+def base_system(config: Optional[SystemConfig] = None) -> SystemConfig:
+    return config if config is not None else SystemConfig()

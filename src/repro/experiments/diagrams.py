@@ -1,0 +1,55 @@
+"""ASCII renderings of the paper's structural figures (Figs 3, 8, 9).
+
+These figures are diagrams rather than measurements; rendering them
+from the actual topology builders doubles as a structural check that
+the implementation matches the paper's drawings (e.g. the 16-cube
+skip-list reaches its farthest cube in five hops).
+"""
+
+from __future__ import annotations
+
+from repro import visual
+from repro.config import SystemConfig
+from repro.experiments.base import ExperimentOutput
+from repro.topology import build_topology
+
+
+def run_fig03(**_ignored) -> ExperimentOutput:
+    """Fig 3: the baseline chain / ring / tree MN shapes."""
+    sections = []
+    for topology in ("chain", "ring", "tree"):
+        topo = build_topology(SystemConfig(topology=topology))
+        sections.append(visual.render_distance_histogram(topo))
+    return ExperimentOutput(
+        experiment_id="fig03",
+        title="Baseline MN topologies (structural)",
+        text="\n\n".join(sections),
+    )
+
+
+def run_fig08(**_ignored) -> ExperimentOutput:
+    """Fig 8: the 16-cube skip-list with its bypass links."""
+    topo = build_topology(SystemConfig(topology="skiplist"))
+    text = visual.render_skiplist(16) + "\n\n" + visual.render_distance_histogram(topo)
+    return ExperimentOutput(
+        experiment_id="fig08",
+        title="Skip-list topology for 16 memory cubes",
+        text=text,
+        notes="The farthest cube is reached in five hops, as in the paper.",
+    )
+
+
+def run_fig09(**_ignored) -> ExperimentOutput:
+    """Fig 9: the MetaCube organization."""
+    topo = build_topology(SystemConfig(topology="metacube"))
+    text = (
+        visual.render_topology(topo)
+        + "\n\n"
+        + visual.render_distance_histogram(topo)
+    )
+    return ExperimentOutput(
+        experiment_id="fig09",
+        title="MetaCube organization (structural)",
+        text=text,
+        notes="~~ marks on-interposer links inside a MetaCube package.",
+    )

@@ -1,0 +1,74 @@
+"""Fig 5 — breakdown of memory request latency (to / in / from memory).
+
+Paper shape: network latency dominates the memory-array latency under
+load; to-memory exceeds from-memory (responses are prioritized on the
+shared links, so requests queue); NW — the lightest workload — shows
+the largest in-memory share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import render_table
+from repro.analysis.breakdown import breakdown_rows
+from repro.config import SystemConfig
+from repro.experiments.base import (
+    DEFAULT_REQUESTS,
+    ExperimentOutput,
+    base_system,
+    suite,
+)
+from repro.analysis import SpeedupGrid
+from repro.workloads import WorkloadSpec
+
+LABELS = ["100%-C", "100%-R", "100%-T"]
+
+
+def run(
+    requests: int = DEFAULT_REQUESTS,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    base_config: Optional[SystemConfig] = None,
+) -> ExperimentOutput:
+    grid = SpeedupGrid(
+        suite(workloads), requests=requests, base_config=base_system(base_config)
+    )
+    rows: List[List[object]] = []
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for workload in grid.workloads:
+        results = [grid.result(label, workload) for label in LABELS]
+        chain_total = results[0].collector.all.total_ns or 1.0
+        data[workload.name] = {}
+        for result in results:
+            b = result.collector.all
+            data[workload.name][result.config_label] = {
+                "to_memory_ns": b.to_memory_ns,
+                "in_memory_ns": b.in_memory_ns,
+                "from_memory_ns": b.from_memory_ns,
+                "relative_to_chain": b.total_ns / chain_total,
+            }
+            rows.append(
+                [
+                    f"{workload.name}/{result.config_label}",
+                    f"{b.to_memory_ns:.1f}",
+                    f"{b.in_memory_ns:.1f}",
+                    f"{b.from_memory_ns:.1f}",
+                    f"{b.total_ns / chain_total:.2f}",
+                ]
+            )
+    text = render_table(
+        ["workload/config", "to-mem (ns)", "in-mem (ns)", "from-mem (ns)", "rel. chain"],
+        rows,
+        title="Fig 5: latency breakdown of DRAM MNs, normalized to chain total",
+    )
+    return ExperimentOutput(
+        experiment_id="fig05",
+        title="Breakdown of memory request latency in DRAM MNs",
+        text=text,
+        data={"breakdown": data, "rows": breakdown_rows([])},
+        notes=(
+            "Expected shape (paper): network latency (to+from) exceeds the "
+            "in-memory latency under load; to-memory > from-memory; NW has "
+            "the highest in-memory share."
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Fig 13 — sensitivity to the number of host ports (8 -> 4).
+
+Halving the port count (fixed 2 TB) doubles the cubes per port and
+concentrates the same system-level workload onto half the injectors:
+each remaining port carries twice the request rate *and* twice the
+request count, so total system work is held constant.
+
+Paper shape: performance degrades across the board; linearly-growing
+topologies (chain, ring) degrade fastest; MetaCubes are nearly flat;
+all-NVM configurations degrade least (they are memory-latency-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import render_table
+from repro.config import SystemConfig, parse_label
+from repro.experiments.base import (
+    DEFAULT_REQUESTS,
+    PROPOSED_CONFIGS,
+    ExperimentOutput,
+    base_system,
+    suite,
+)
+from repro.system import simulate
+from repro.workloads import WorkloadSpec
+
+LABELS = ["100%-C", "100%-R"] + PROPOSED_CONFIGS
+
+
+def run(
+    requests: int = DEFAULT_REQUESTS,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    base_config: Optional[SystemConfig] = None,
+) -> ExperimentOutput:
+    base = base_system(base_config)
+    data: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for workload in suite(workloads):
+        row = [workload.name]
+        data[workload.name] = {}
+        for label in LABELS:
+            eight_config = parse_label(label, base)
+            four_config = eight_config.with_(
+                host=replace(eight_config.host, num_ports=4)
+            )
+            eight = simulate(eight_config, workload, requests=requests)
+            # half the ports -> each must retire twice the requests for
+            # the same total system work (per-port rate scales inside
+            # the workload generator)
+            four = simulate(four_config, workload, requests=2 * requests)
+            delta = (eight.runtime_ps * 2 / four.runtime_ps - 1.0) * 100.0
+            # note: the 8-port system would take eight.runtime_ps to
+            # serve `requests` per port; serving 2x requests at the same
+            # per-port throughput would take 2x that, hence the factor.
+            data[workload.name][label] = delta
+            row.append(f"{delta:+.1f}%")
+        rows.append(row)
+    averages = {
+        label: sum(data[w][label] for w in data) / len(data) for label in LABELS
+    }
+    rows.append(["average"] + [f"{averages[label]:+.1f}%" for label in LABELS])
+    text = render_table(
+        ["workload"] + LABELS,
+        rows,
+        title=(
+            "Fig 13: speedup of a 4-port system over the 8-port baseline "
+            "(2 TB, equal total work)"
+        ),
+    )
+    return ExperimentOutput(
+        experiment_id="fig13",
+        title="Port-count sensitivity (4 vs 8 host ports)",
+        text=text,
+        data={"delta": data, "averages": averages},
+        notes=(
+            "Expected shape (paper): negative across the board; chain/ring "
+            "worst (hop counts double), MetaCube nearly flat, all-NVM least "
+            "affected."
+        ),
+    )

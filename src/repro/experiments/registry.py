@@ -1,0 +1,66 @@
+"""Registry mapping experiment ids to their run() entry points."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ablation_arbiters,
+    ablation_buffers,
+    ablation_interleave,
+    ablation_ratio,
+    ablation_serdes,
+    ablation_window,
+    analysis_parking_lot,
+    diagrams,
+    fig04,
+    fig05,
+    fig07,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table01,
+    table02,
+)
+from repro.experiments.base import ExperimentOutput
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
+    "table01": table01.run,
+    "table02": table02.run,
+    "fig03": diagrams.run_fig03,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig07": fig07.run,
+    "fig08": diagrams.run_fig08,
+    "fig09": diagrams.run_fig09,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "ablation_arbiters": ablation_arbiters.run,
+    "ablation_interleave": ablation_interleave.run,
+    "ablation_serdes": ablation_serdes.run,
+    "ablation_ratio": ablation_ratio.run,
+    "ablation_window": ablation_window.run,
+    "ablation_buffers": ablation_buffers.run,
+    "analysis_parking_lot": analysis_parking_lot.run,
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentOutput]:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; choose from {experiment_ids()}"
+        ) from None

@@ -1,0 +1,47 @@
+"""Table 1 — maximum DDR bus speed vs DIMMs per channel.
+
+Also prints the resulting capacity-vs-bandwidth frontier that motivates
+memory networks (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.ddr import DDR3, DDR4, DdrBusModel
+from repro.ddr.bus import table1_rows
+from repro.experiments.base import ExperimentOutput
+
+
+def run(**_ignored) -> ExperimentOutput:
+    rows = [
+        [str(dpc), f"{d3} MHz", f"{d4} MHz"] for dpc, d3, d4 in table1_rows()
+    ]
+    table = render_table(
+        ["Number of DPC", "DDR3", "DDR4"],
+        rows,
+        title="Table 1: maximum memory interface speeds by DIMMs per channel",
+    )
+    frontier_rows = []
+    for generation in (DDR3, DDR4):
+        model = DdrBusModel(generation)
+        for point in model.frontier(channels=4):
+            frontier_rows.append(
+                [
+                    f"{generation.name} x4ch @ {int(point['dimms_per_channel'])}DPC",
+                    f"{point['capacity_gib']:.0f} GiB",
+                    f"{point['bandwidth_gbs']:.1f} GB/s",
+                    f"{int(point['pins'])} pins",
+                ]
+            )
+    frontier = render_table(
+        ["system", "capacity", "peak bandwidth", "pin cost"],
+        frontier_rows,
+        title="Capacity-vs-bandwidth frontier (the Section 2.1 trade-off)",
+    )
+    return ExperimentOutput(
+        experiment_id="table01",
+        title="DDR bus speed vs DIMMs per channel",
+        text=table + "\n\n" + frontier,
+        data={"rows": table1_rows()},
+        notes="Capacity can only grow by sacrificing bus speed on DDR.",
+    )

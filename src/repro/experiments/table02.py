@@ -1,0 +1,62 @@
+"""Table 2 — the evaluated system's parameters, as resolved in code."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.config import SystemConfig
+from repro.experiments.base import ExperimentOutput
+from repro.units import to_ns
+
+
+def run(**_ignored) -> ExperimentOutput:
+    config = SystemConfig()
+    dram, nvm = config.dram, config.nvm
+    rows = [
+        ["Memory ports", config.host.num_ports],
+        ["Total memory", f"{config.total_capacity_bytes // 2**40} TiB"],
+        [
+            "Stack capacity",
+            f"{dram.capacity_bytes // 2**30} GiB (DRAM), "
+            f"{nvm.capacity_bytes // 2**30} GiB (NVM)",
+        ],
+        ["Banks / stack", config.cube.banks_per_stack],
+        [
+            "DRAM timings",
+            f"tRCD={to_ns(dram.trcd_ps):.0f}ns tCL={to_ns(dram.tcl_ps):.0f}ns "
+            f"tRP={to_ns(dram.trp_ps):.0f}ns tRAS={to_ns(dram.tras_ps):.0f}ns",
+        ],
+        [
+            "NVM timings",
+            f"tRCD={to_ns(nvm.trcd_ps):.0f}ns tCL={to_ns(nvm.tcl_ps):.0f}ns "
+            f"tWR={to_ns(nvm.twr_ps):.0f}ns",
+        ],
+        [
+            "DRAM read/write energy",
+            f"{dram.read_energy_pj_per_bit:.0f} pJ/bit",
+        ],
+        [
+            "NVM read/write energy",
+            f"{nvm.read_energy_pj_per_bit:.0f} / "
+            f"{nvm.write_energy_pj_per_bit:.0f} pJ/bit",
+        ],
+        [
+            "Network energy",
+            f"{config.energy.network_pj_per_bit_hop:.0f} pJ/bit/hop",
+        ],
+        [
+            "Links",
+            f"{config.link.lanes}-bit @ {config.link.lane_gbps:.0f} Gbps, "
+            f"SerDes {to_ns(config.link.serdes_latency_ps):.0f} ns/hop",
+        ],
+        ["Interleaving", f"{config.host.interleave_bytes} B across cubes"],
+        ["Cubes per port (all-DRAM)", SystemConfig().cubes_per_port],
+    ]
+    text = render_table(
+        ["Parameter", "Value"], rows, title="Table 2: evaluated system parameters"
+    )
+    return ExperimentOutput(
+        experiment_id="table02",
+        title="List of parameters in the evaluated system",
+        text=text,
+        data={"rows": rows},
+    )

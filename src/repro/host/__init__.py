@@ -1,0 +1,8 @@
+"""Host (APU) model: ports, address interleaving, coherence point."""
+
+from repro.host.address_map import AddressMap, Location
+from repro.host.directory import Directory
+from repro.host.port import HostPort
+from repro.host.host import HostNode
+
+__all__ = ["AddressMap", "Location", "Directory", "HostPort", "HostNode"]

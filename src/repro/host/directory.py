@@ -1,0 +1,52 @@
+"""The coherence ordering point at the host port.
+
+Memory traffic beyond the system port is past the coherence point
+(Section 4.2).  For the skip-list's divergent read/write paths to be
+safe, the directory must stall a read to an address that has an
+outstanding write until the write acknowledgment returns — we model
+exactly that rule.  Writes to an address with an outstanding write are
+likewise ordered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Directory:
+    """Tracks outstanding writes per (line) address."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        self.line_bytes = line_bytes
+        self._pending_writes: Dict[int, int] = {}
+        self.stalled_reads = 0
+
+    def _line(self, address: int) -> int:
+        return address // self.line_bytes
+
+    def can_issue(self, address: int, is_write: bool) -> bool:
+        """A request may issue unless an older write to its line is live."""
+        blocked = self._line(address) in self._pending_writes
+        if blocked and not is_write:
+            self.stalled_reads += 1
+        return not blocked
+
+    def issued(self, address: int, is_write: bool) -> None:
+        if is_write:
+            line = self._line(address)
+            self._pending_writes[line] = self._pending_writes.get(line, 0) + 1
+
+    def completed(self, address: int, is_write: bool) -> None:
+        if is_write:
+            line = self._line(address)
+            remaining = self._pending_writes.get(line, 0) - 1
+            if remaining > 0:
+                self._pending_writes[line] = remaining
+            else:
+                self._pending_writes.pop(line, None)
+
+    @property
+    def outstanding_writes(self) -> int:
+        return sum(self._pending_writes.values())

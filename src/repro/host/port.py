@@ -1,0 +1,241 @@
+"""The host memory port: closed-loop injection with a coherence stall.
+
+Each port issues the workload's request stream subject to:
+
+* a maximum-outstanding window (memory-level parallelism of the core),
+* injection-queue space on the host router (backpressure from the MN),
+* the directory rule (reads stall behind outstanding writes to the
+  same line — required for skip-list consistency, Section 4.2).
+
+Two Section 4.2/5.3 refinements live here because they are decisions
+made "when injecting to the network":
+
+* read-priority injection — reads may bypass queued writes at the port,
+* write-burst hysteresis — while writes dominate the recent stream,
+  write requests are routed over the short (read-class) paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.host.address_map import AddressMap
+from repro.host.directory import Directory
+from repro.net.buffers import InputQueue
+from repro.net.packet import Packet, PacketKind, Transaction, request_packet
+from repro.net.routing import RouteClass, RouteTable
+from repro.net.router import Router
+from repro.sim.engine import Engine
+from repro.workloads.base import Request
+
+
+class HostPort:
+    """One memory port of the APU driving one MN."""
+
+    def __init__(
+        self,
+        port_id: int,
+        config: SystemConfig,
+        workload: Iterator[Request],
+        total_requests: int,
+        address_map: AddressMap,
+        cube_node_ids: Sequence[int],
+        route_table: RouteTable,
+        inject_queue: InputQueue,
+        router: Router,
+        on_transaction_done: Callable[[Engine, Transaction], None],
+        window: Optional[int] = None,
+    ) -> None:
+        self.port_id = port_id
+        self.config = config
+        self.workload = workload
+        self.total_requests = total_requests
+        self.address_map = address_map
+        self.cube_node_ids = list(cube_node_ids)
+        self.route_table = route_table
+        self.inject_queue = inject_queue
+        self.router = router
+        self.on_transaction_done = on_transaction_done
+        self.window = (
+            config.host.max_outstanding_per_port
+            if window is None
+            else min(window, config.host.max_outstanding_per_port)
+        )
+
+        self.directory = Directory()
+        self.pending: List[Transaction] = []  # generated, not yet injected
+        self.outstanding_reads = 0
+        self.outstanding_writes = 0
+        # in-order read retirement (wavefront semantics)
+        self._read_seq = 0
+        self._retire_head = 0
+        self._completed_reads = set()
+        self.issued = 0
+        self.completed = 0
+        self.generated = 0
+        # write-burst hysteresis state (Section 5.3)
+        self._recent_writes: Deque[bool] = deque(maxlen=config.hysteresis_window)
+        self.write_burst_mode = False
+        self.burst_mode_toggles = 0
+
+        self._at_port: Deque[Transaction] = deque()  # crossed the chip, not injected
+        inject_queue.on_drain = lambda engine: self._pump(engine)
+
+    # -- generation ---------------------------------------------------------
+    def start(self, engine: Engine) -> None:
+        engine.schedule(0, self._next_arrival)
+
+    def _next_arrival(self, engine: Engine) -> None:
+        if self.generated >= self.total_requests:
+            return
+        try:
+            request = next(self.workload)
+        except StopIteration:
+            raise WorkloadError(
+                f"workload exhausted after {self.generated} of "
+                f"{self.total_requests} requests"
+            ) from None
+        txn = Transaction(
+            address=request.address,
+            is_write=request.is_write,
+            port_id=self.port_id,
+            issue_ps=engine.now,
+        )
+        txn.location = self.address_map.decode(request.address)
+        txn.dest_cube = self.cube_node_ids[txn.location.cube_index]
+        self.pending.append(txn)
+        self.generated += 1
+        self._observe_for_hysteresis(request.is_write)
+        self.try_inject(engine)
+        if self.generated < self.total_requests:
+            engine.schedule(max(request.gap_ps, 0), self._next_arrival)
+
+    # -- hysteresis ------------------------------------------------------------
+    def _observe_for_hysteresis(self, is_write: bool) -> None:
+        if not self.config.write_skip_hysteresis:
+            return
+        self._recent_writes.append(is_write)
+        if len(self._recent_writes) < self._recent_writes.maxlen:
+            return
+        fraction = sum(self._recent_writes) / len(self._recent_writes)
+        if not self.write_burst_mode and fraction >= self.config.hysteresis_hi:
+            self.write_burst_mode = True
+            self.burst_mode_toggles += 1
+        elif self.write_burst_mode and fraction <= self.config.hysteresis_lo:
+            self.write_burst_mode = False
+            self.burst_mode_toggles += 1
+
+    # -- injection ---------------------------------------------------------------
+    def _has_room(self, txn: Transaction) -> bool:
+        """Reads use the MLP window; writes use the store buffer.
+
+        Writes leave the core's critical path once issued (Section 4.2),
+        so they must not consume read MLP — this is what lets the
+        skip-list push writes onto longer paths without stalling reads.
+        """
+        if txn.is_write:
+            return self.outstanding_writes < self.config.host.store_buffer_entries
+        return self.outstanding_reads < self.window
+
+    def _select_next(self) -> Optional[int]:
+        """Pick the index of the next pending transaction to inject."""
+        first_eligible = None
+        for index, txn in enumerate(self.pending):
+            if not self.directory.can_issue(txn.address, txn.is_write):
+                continue
+            if not self._has_room(txn):
+                continue
+            if first_eligible is None:
+                first_eligible = index
+            if self.config.host.read_priority_injection and not txn.is_write:
+                return index  # first eligible read bypasses queued writes
+            if not self.config.host.read_priority_injection:
+                return index
+        return first_eligible
+
+    def try_inject(self, engine: Engine) -> None:
+        while self.pending:
+            index = self._select_next()
+            if index is None:
+                return  # everything pending is blocked or out of room
+            txn = self.pending.pop(index)
+            txn.start_ps = engine.now
+            if not txn.is_write:
+                txn.read_seq = self._read_seq
+                self._read_seq += 1
+            # The request crosses the on-chip path from the coherence
+            # point to the memory port before entering the MN.  The
+            # window slot and directory entry are claimed now, so
+            # ordering decisions happen at the coherence point.
+            self.directory.issued(txn.address, txn.is_write)
+            if txn.is_write:
+                self.outstanding_writes += 1
+            else:
+                self.outstanding_reads += 1
+            engine.schedule(self.config.host.port_latency_ps, self._reach_port, txn)
+
+    def _reach_port(self, engine: Engine, txn: Transaction) -> None:
+        self._at_port.append(txn)
+        self._pump(engine)
+
+    def _pump(self, engine: Engine) -> None:
+        while self._at_port and self.inject_queue.has_space():
+            self._inject(engine, self._at_port.popleft())
+
+    def _inject(self, engine: Engine, txn: Transaction) -> None:
+        txn.inject_ps = engine.now
+        packet = request_packet(self.config.packet, txn, engine.now)
+        packet.src = self.route_table.host_id
+        packet.dest = txn.dest_cube
+        route_class = self._route_class_for(txn)
+        packet.route = list(self.route_table.route_to_cube(txn.dest_cube, route_class))
+        packet.hop_index = 0
+        self.issued += 1
+        self.inject_queue.push(packet, engine.now)
+        self.router.packet_arrived(engine, self.inject_queue)
+
+    def _route_class_for(self, txn: Transaction) -> RouteClass:
+        if not txn.is_write:
+            return RouteClass.READ
+        if self.write_burst_mode:
+            # During write bursts the skip paths are re-opened to writes.
+            return RouteClass.READ
+        return RouteClass.WRITE
+
+    # -- completion --------------------------------------------------------------
+    def on_response(self, engine: Engine, packet: Packet) -> None:
+        txn = packet.transaction
+        if txn is None:
+            raise WorkloadError("response packet without a transaction")
+        txn.response_hops = packet.hops_traversed
+        # the response still has to cross the chip back to the core
+        engine.schedule(self.config.host.port_latency_ps, self._complete, txn)
+
+    def _complete(self, engine: Engine, txn: Transaction) -> None:
+        txn.complete_ps = engine.now
+        self.directory.completed(txn.address, txn.is_write)
+        if txn.is_write:
+            self.outstanding_writes -= 1
+        elif self.config.host.inorder_retire:
+            # the slot frees only when all older reads are also back
+            self._completed_reads.add(txn.read_seq)
+            while self._retire_head in self._completed_reads:
+                self._completed_reads.discard(self._retire_head)
+                self._retire_head += 1
+                self.outstanding_reads -= 1
+        else:
+            self.outstanding_reads -= 1
+        self.completed += 1
+        self.on_transaction_done(engine, txn)
+        self.try_inject(engine)
+
+    @property
+    def outstanding(self) -> int:
+        return self.outstanding_reads + self.outstanding_writes
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= self.total_requests

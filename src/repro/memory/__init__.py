@@ -1,0 +1,14 @@
+"""Memory cube internals: banks, timing models, controllers, the cube."""
+
+from repro.memory.timing import AccessPlan, TimingModel
+from repro.memory.bank import Bank
+from repro.memory.controller import QuadrantController
+from repro.memory.cube import MemoryCube
+
+__all__ = [
+    "AccessPlan",
+    "TimingModel",
+    "Bank",
+    "QuadrantController",
+    "MemoryCube",
+]

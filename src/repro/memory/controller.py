@@ -1,0 +1,193 @@
+"""Per-quadrant memory controller.
+
+The controller owns the quadrant's banks, a finite request queue
+(backpressure into the cube's switch), and a response path into the
+cube router's local input port.  Scheduling is first-ready FCFS: the
+oldest request whose bank is free issues; younger requests may bypass a
+bank conflict (bank-level parallelism, which Fig 14's capacity study
+depends on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config import PacketConfig
+from repro.memory.bank import Bank
+from repro.memory.timing import AccessPlan, TimingModel
+from repro.net.buffers import InputQueue
+from repro.net.packet import Packet, response_packet
+from repro.net.router import Router
+from repro.sim.engine import Engine
+
+
+class QuadrantController:
+    """One of the four independent controllers inside a memory cube."""
+
+    def __init__(
+        self,
+        name: str,
+        timing: TimingModel,
+        num_banks: int,
+        queue_depth: int,
+        inject_queue: InputQueue,
+        router: Router,
+        route_response: Callable[[Packet], None],
+        packet_config: PacketConfig,
+        refresh_offset_ps: int = 0,
+        scheduling: str = "fcfs",
+    ) -> None:
+        self.name = name
+        self.timing = timing
+        self.banks: List[Bank] = [
+            Bank(num_row_buffers=timing.tech.row_buffers) for _ in range(num_banks)
+        ]
+        self.queue_depth = queue_depth
+        self.inject_queue = inject_queue
+        self.router = router
+        self.route_response = route_response
+        self.packet_config = packet_config
+        self.refresh_offset_ps = refresh_offset_ps
+        if scheduling not in ("fcfs", "frfcfs"):
+            raise ValueError(f"unknown scheduling policy {scheduling!r}")
+        self.scheduling = scheduling
+
+        self._queue: List[Packet] = []
+        self._reserved = 0
+        self._pending_responses: List[Packet] = []
+        self._next_wake_ps: Optional[int] = None
+        # counters
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.refreshes = 0
+        inject_queue.on_drain = self._inject_drained
+
+    # -- admission ---------------------------------------------------------
+    def can_accept(self) -> bool:
+        return len(self._queue) + self._reserved < self.queue_depth
+
+    def reserve(self) -> None:
+        self._reserved += 1
+
+    def start_refresh(self, engine: Engine) -> None:
+        tech = self.timing.tech
+        if tech.needs_refresh:
+            engine.schedule(self.refresh_offset_ps, self._refresh)
+
+    # -- request path --------------------------------------------------------
+    def receive(self, engine: Engine, packet: Packet) -> None:
+        self._reserved -= 1
+        self._queue.append(packet)
+        self._kick(engine)
+
+    def _kick(self, engine: Engine) -> None:
+        now = engine.now
+        if self.scheduling == "fcfs":
+            # strict in-order: the head must issue before anything else
+            while self._queue:
+                packet = self._queue[0]
+                location = packet.transaction.location
+                bank = self.banks[location.bank]
+                if not bank.ready_for(now, location.row):
+                    break
+                del self._queue[0]
+                self._issue(engine, packet, bank, location.row)
+        else:
+            issued = True
+            while issued:
+                issued = False
+                for position, packet in enumerate(self._queue):
+                    location = packet.transaction.location
+                    bank = self.banks[location.bank]
+                    if bank.ready_for(now, location.row):
+                        del self._queue[position]
+                        self._issue(engine, packet, bank, location.row)
+                        issued = True
+                        break
+        self._arm_wakeup(engine)
+
+    def _issue(self, engine: Engine, packet: Packet, bank: Bank, row: int) -> None:
+        is_write = packet.transaction.is_write
+        plan = self.timing.plan(bank, engine.now, row, is_write)
+        self.timing.apply(bank, plan, row)
+        engine.schedule(
+            plan.data_ready_ps - engine.now, self._complete, packet, plan
+        )
+
+    def _complete(self, engine: Engine, packet: Packet, plan: AccessPlan) -> None:
+        txn = packet.transaction
+        txn.mem_depart_ps = engine.now
+        txn.row_hit = plan.row_hit
+        txn.dest_tech = self.timing.tech.name
+        if txn.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if plan.row_hit:
+            self.row_hits += 1
+        response = response_packet(self.packet_config, packet, engine.now)
+        response.source_tech = self.timing.tech.name
+        self.route_response(response)
+        self._pending_responses.append(response)
+        self._try_inject(engine)
+        self._kick(engine)
+
+    # -- response path ---------------------------------------------------------
+    def _try_inject(self, engine: Engine) -> None:
+        while self._pending_responses and self.inject_queue.has_space():
+            response = self._pending_responses.pop(0)
+            self.inject_queue.push(response, engine.now)
+            self.router.packet_arrived(engine, self.inject_queue)
+
+    def _inject_drained(self, engine: Engine) -> None:
+        self._try_inject(engine)
+
+    # -- wakeups -------------------------------------------------------------
+    def _arm_wakeup(self, engine: Engine) -> None:
+        if not self._queue:
+            return
+        now = engine.now
+        earliest = None
+        scan = self._queue[:1] if self.scheduling == "fcfs" else self._queue
+        for packet in scan:
+            location = packet.transaction.location
+            bank = self.banks[location.bank]
+            start = bank.earliest_start(now, location.row)
+            if start > now and (earliest is None or start < earliest):
+                earliest = start
+        if earliest is None:
+            return
+        if self._next_wake_ps is not None and now < self._next_wake_ps <= earliest:
+            return  # an adequate wakeup is already armed
+        self._next_wake_ps = earliest
+        engine.schedule_at(earliest, self._wake)
+
+    def _wake(self, engine: Engine) -> None:
+        if self._next_wake_ps is not None and engine.now >= self._next_wake_ps:
+            self._next_wake_ps = None
+        self._kick(engine)
+
+    # -- refresh ---------------------------------------------------------------
+    # Banks refresh in rotating groups (per-bank refresh as in HBM), so
+    # at any instant only a fraction of the quadrant is unavailable and
+    # bank-level parallelism hides most of the cost.
+    REFRESH_GROUPS = 8
+
+    def _refresh(self, engine: Engine) -> None:
+        tech = self.timing.tech
+        groups = min(self.REFRESH_GROUPS, len(self.banks))
+        group = self.refreshes % groups
+        for index in range(group, len(self.banks), groups):
+            self.banks[index].refresh(engine.now, tech.refresh_duration_ps)
+        self.refreshes += 1
+        engine.schedule(tech.refresh_interval_ps // groups, self._refresh)
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending_responses(self) -> int:
+        return len(self._pending_responses)

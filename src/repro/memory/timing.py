@@ -1,0 +1,73 @@
+"""Access-latency computation for one memory technology.
+
+Open-page policy over the two-resource bank model:
+
+* row hit: waits only for the row buffer; costs tCL,
+* row miss with an open row: tRP (precharge) + tRCD (activate) + tCL,
+* row miss on a closed bank: tRCD + tCL,
+* tRAS keeps the *array* occupied after an activate (DRAM),
+* writes add the write-recovery time tWR to *array* occupancy — the
+  dominant term for PCM-like NVM (320 ns, Table 2).  Thanks to the
+  decoupled row buffer, later row-buffer hits proceed anyway; only the
+  next activation of the bank pays for the write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemTechConfig
+from repro.memory.bank import Bank
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """Resolved timing of one bank access."""
+
+    start_ps: int  # when the access begins
+    data_ready_ps: int  # when read data / write completion is available
+    array_free_ps: int  # when the cell array can take the next activation
+    buffer_free_ps: int  # when the row buffer can take the next column op
+    row_hit: bool
+
+
+class TimingModel:
+    """Computes :class:`AccessPlan` for a technology's parameters."""
+
+    def __init__(self, tech: MemTechConfig) -> None:
+        self.tech = tech
+
+    def plan(self, bank: Bank, now_ps: int, row: int, is_write: bool) -> AccessPlan:
+        tech = self.tech
+        hit = bank.would_hit(row)
+        start = bank.earliest_start(now_ps, row)
+        if hit:
+            data_ready = start + tech.tcl_ps
+            array_free = bank.array_busy_until
+        else:
+            if bank.buffers_full:
+                # evicting a victim row needs a precharge first
+                activation = start + tech.trp_ps
+            else:
+                activation = start
+            data_ready = activation + tech.trcd_ps + tech.tcl_ps
+            array_free = data_ready
+            if tech.tras_ps:
+                array_free = max(array_free, activation + tech.tras_ps)
+        if is_write:
+            # Write recovery occupies the array.  Overlapping hit-writes
+            # coalesce in the row buffer rather than queueing tWRs.
+            array_free = max(array_free, data_ready + tech.write_recovery_ps())
+        return AccessPlan(
+            start_ps=start,
+            data_ready_ps=data_ready,
+            array_free_ps=array_free,
+            buffer_free_ps=data_ready,
+            row_hit=hit,
+        )
+
+    def apply(self, bank: Bank, plan: AccessPlan, row: int) -> None:
+        """Commit a plan onto the bank's state."""
+        bank.note_access(row, plan.row_hit)
+        bank.push_array_busy(plan.array_free_ps)
+        bank.push_buffer_busy(plan.buffer_free_ps)

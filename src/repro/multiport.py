@@ -1,0 +1,109 @@
+"""Full-system (all-ports) simulation.
+
+The paper's ports serve disjoint address slices (Section 2.3), so the
+full machine is N independent MNs fed by per-port shares of the
+workload.  :func:`simulate_all_ports` runs every port's MN (each with
+an independently seeded request stream) and composes the results:
+
+* system runtime = the slowest port's runtime (ports run concurrently),
+* latency statistics and energies merge across ports.
+
+Running all ports multiplies simulation cost by the port count; the
+per-port run used everywhere else is statistically equivalent for
+uniformly interleaved traffic, which this module lets you verify
+(`port_balance` reports the cross-port runtime spread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import SystemConfig
+from repro.results import EnergyReport, SimResult, TransactionCollector
+from repro.sim.random import derive_seed
+from repro.system import MemoryNetworkSystem
+from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+
+@dataclass
+class MultiPortResult:
+    """Composition of per-port simulation results."""
+
+    config_label: str
+    workload: str
+    per_port: List[SimResult]
+
+    @property
+    def num_ports(self) -> int:
+        return len(self.per_port)
+
+    @property
+    def runtime_ps(self) -> int:
+        """The system finishes when its slowest port does."""
+        return max(result.runtime_ps for result in self.per_port)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(result.transactions for result in self.per_port)
+
+    @property
+    def energy(self) -> EnergyReport:
+        merged = EnergyReport()
+        for result in self.per_port:
+            merged.network_pj += result.energy.network_pj
+            merged.interposer_pj += result.energy.interposer_pj
+            merged.memory_read_pj += result.energy.memory_read_pj
+            merged.memory_write_pj += result.energy.memory_write_pj
+        return merged
+
+    def merged_collector(self) -> TransactionCollector:
+        merged = TransactionCollector()
+        for result in self.per_port:
+            collector = result.collector
+            merged.reads += collector.reads
+            merged.writes += collector.writes
+            merged.row_hits += collector.row_hits
+            merged.nvm_accesses += collector.nvm_accesses
+            merged.all.to_memory.merge(collector.all.to_memory)
+            merged.all.in_memory.merge(collector.all.in_memory)
+            merged.all.from_memory.merge(collector.all.from_memory)
+            merged.request_hops.merge(collector.request_hops)
+            merged.response_hops.merge(collector.response_hops)
+            if collector.last_complete_ps > merged.last_complete_ps:
+                merged.last_complete_ps = collector.last_complete_ps
+        return merged
+
+    def port_balance(self) -> float:
+        """Max/min runtime ratio across ports (1.0 = perfectly balanced)."""
+        runtimes = [result.runtime_ps for result in self.per_port]
+        return max(runtimes) / max(min(runtimes), 1)
+
+
+def simulate_all_ports(
+    config: SystemConfig,
+    workload: WorkloadSpec,
+    requests_per_port: int = 1000,
+) -> MultiPortResult:
+    """Simulate every memory port's MN and compose the results."""
+    config.validate()
+    per_port: List[SimResult] = []
+    for port in range(config.host.num_ports):
+        seed = derive_seed(config.seed, workload.name, f"port{port}")
+        # a probe system resolves the per-port address space size
+        probe = MemoryNetworkSystem(config, workload, requests=1)
+        stream = SyntheticWorkload(
+            workload,
+            probe.address_map.total_bytes,
+            seed,
+            num_ports=config.host.num_ports,
+        )
+        system = MemoryNetworkSystem(
+            config, workload, requests=requests_per_port, workload_iter=stream
+        )
+        per_port.append(system.run())
+    return MultiPortResult(
+        config_label=config.label(),
+        workload=workload.name,
+        per_port=per_port,
+    )

@@ -1,0 +1,17 @@
+"""Packet-level network substrate: packets, links, buffers, routers."""
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.link import Link
+from repro.net.buffers import InputQueue
+from repro.net.routing import RouteTable, RouteClass
+from repro.net.router import Router
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "Link",
+    "InputQueue",
+    "RouteTable",
+    "RouteClass",
+    "Router",
+]

@@ -1,0 +1,88 @@
+"""Finite input queues with credit-based backpressure."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+
+
+class InputQueue:
+    """A finite FIFO of packets at a router input port.
+
+    ``upstream_link`` (set by the feeding :class:`~repro.net.link.Link`)
+    identifies where to return a credit when a packet leaves the queue;
+    local sources (memory controllers, host injectors) leave it None and
+    may instead register ``on_drain`` to learn when space frees up.
+    ``capacity=None`` models an infinite sink (the host's receive side).
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "_items",
+        "_entry_times",
+        "upstream_link",
+        "on_drain",
+        "peak_occupancy",
+        "total_wait_ps",
+        "popped",
+    )
+
+    def __init__(self, name: str, capacity: Optional[int]) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Packet] = deque()
+        self._entry_times: Deque[Optional[int]] = deque()
+        self.upstream_link = None
+        self.on_drain = None
+        self.peak_occupancy = 0
+        # waiting-time accounting (the Section 3.2 parking-lot analysis)
+        self.total_wait_ps = 0
+        self.popped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def has_space(self) -> bool:
+        return self.capacity is None or len(self._items) < self.capacity
+
+    def head(self) -> Packet:
+        if not self._items:
+            raise SimulationError(f"peek on empty queue {self.name}")
+        return self._items[0]
+
+    def push(self, packet: Packet, now_ps: Optional[int] = None) -> None:
+        if not self.has_space():
+            raise SimulationError(
+                f"queue {self.name} overflow (capacity {self.capacity}); "
+                "credit accounting is broken"
+            )
+        self._items.append(packet)
+        self._entry_times.append(now_ps)
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+
+    def pop(self, now_ps: Optional[int] = None) -> Packet:
+        if not self._items:
+            raise SimulationError(f"pop on empty queue {self.name}")
+        entered = self._entry_times.popleft()
+        if entered is not None and now_ps is not None:
+            self.total_wait_ps += now_ps - entered
+            self.popped += 1
+        return self._items.popleft()
+
+    @property
+    def mean_wait_ps(self) -> float:
+        """Mean time packets spent waiting in this queue."""
+        return self.total_wait_ps / self.popped if self.popped else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"InputQueue({self.name}, {len(self._items)}/{cap})"

@@ -1,0 +1,184 @@
+"""Package-to-package links with SerDes timing and credits.
+
+The paper's MNs use a *single* 16-bit link between two packages
+(Section 5): requests and responses share its serialization bandwidth,
+and responses are prioritized over requests "to prevent deadlocks from
+older responses being blocked by newer requests" (Section 3.2) — the
+root cause of the to-memory/from-memory latency asymmetry in Fig 5.
+
+We model this with a :class:`SharedChannel` (the physical half-duplex
+medium) carrying two :class:`Link` halves (one per direction).  Each
+half owns the credit pool of its downstream input queue.  When the
+channel goes idle it re-arbitrates between directions, granting a
+direction with a response-class head packet first.  Setting
+``full_duplex=True`` on the link config gives each direction its own
+channel instead.
+
+Cost per traversal:
+
+* serialization time: ``size_bits / (lanes * lane_gbps)``,
+* a fixed SerDes latency (2 ns by default, Section 5) for
+  descrambling/deserializing at the receiving package,
+* optional propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config import LinkConfig
+from repro.errors import SimulationError
+from repro.net.buffers import InputQueue
+from repro.net.packet import Packet
+from repro.sim.engine import Engine
+from repro.units import serialization_ps
+
+
+class SharedChannel:
+    """The physical medium: one serializer shared by its Link halves."""
+
+    __slots__ = ("name", "_busy_until", "halves", "_toggle", "_idle_armed")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._busy_until = 0
+        self.halves: List["Link"] = []
+        self._toggle = 0
+        self._idle_armed = False
+
+    def is_free(self, now_ps: int) -> bool:
+        return now_ps >= self._busy_until
+
+    def occupy(self, engine: Engine, duration_ps: int) -> None:
+        if not self.is_free(engine.now):
+            raise SimulationError(f"channel {self.name} busy")
+        self._busy_until = engine.now + duration_ps
+        if not self._idle_armed:
+            self._idle_armed = True
+            engine.schedule(duration_ps, self._became_idle)
+
+    def _became_idle(self, engine: Engine) -> None:
+        self._idle_armed = False
+        if not self.is_free(engine.now):
+            # someone re-occupied the channel at the same instant
+            return
+        self.grant(engine)
+
+    def grant(self, engine: Engine) -> None:
+        """Re-arbitrate the idle channel between its directions.
+
+        A direction whose sender has a response-class packet at an
+        eligible queue head wins; otherwise directions alternate.
+        """
+        if not self.halves:
+            return
+        count = len(self.halves)
+        order = list(range(count))
+        responses = [half.sender_has_response_head() for half in self.halves]
+        order.sort(key=lambda i: (not responses[i], (i + self._toggle) % count))
+        self._toggle += 1
+        for index in order:
+            half = self.halves[index]
+            if half.on_idle is not None:
+                half.on_idle(engine)
+            if not self.is_free(engine.now):
+                return  # a packet took the channel
+
+
+class Link:
+    """One direction of a package-to-package connection."""
+
+    __slots__ = (
+        "name",
+        "config",
+        "channel",
+        "dst_queue",
+        "_credits",
+        "on_idle",
+        "on_delivery",
+        "sender_has_response_head",
+        "packets_carried",
+        "bits_carried",
+        "busy_ps",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        config: LinkConfig,
+        dst_queue: InputQueue,
+        channel: Optional[SharedChannel] = None,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.channel = channel if channel is not None else SharedChannel(name)
+        self.channel.halves.append(self)
+        self.dst_queue = dst_queue
+        self._credits: Optional[int] = (
+            dst_queue.capacity if dst_queue.capacity is not None else None
+        )
+        # Callbacks wired by the owning routers:
+        # ``on_idle(engine)``     -> upstream router retries this output.
+        # ``on_delivery(engine, queue)`` -> downstream router reacts to
+        #                            the packet that just arrived.
+        # ``sender_has_response_head()`` -> used by the shared channel to
+        #                            prioritize the response direction.
+        self.on_idle: Optional[Callable[[Engine], None]] = None
+        self.on_delivery: Optional[Callable[[Engine, InputQueue], None]] = None
+        self.sender_has_response_head: Callable[[], bool] = lambda: False
+        # stats
+        self.packets_carried = 0
+        self.bits_carried = 0
+        self.busy_ps = 0
+        dst_queue.upstream_link = self
+
+    # ------------------------------------------------------------------
+    def serialization_delay_ps(self, packet: Packet) -> int:
+        return serialization_ps(
+            packet.size_bits, self.config.lanes, self.config.lane_gbps
+        )
+
+    def is_free(self, now_ps: int) -> bool:
+        return self.channel.is_free(now_ps)
+
+    def has_credit(self) -> bool:
+        return self._credits is None or self._credits > 0
+
+    def can_send(self, now_ps: int) -> bool:
+        return self.is_free(now_ps) and self.has_credit()
+
+    @property
+    def credits(self) -> Optional[int]:
+        return self._credits
+
+    # ------------------------------------------------------------------
+    def send(self, engine: Engine, packet: Packet) -> None:
+        """Launch a packet; it arrives downstream after ser + SerDes."""
+        if not self.has_credit():
+            raise SimulationError(f"link {self.name} has no credit")
+        ser = self.serialization_delay_ps(packet)
+        self.channel.occupy(engine, ser)  # raises if busy
+        if self._credits is not None:
+            self._credits -= 1
+        self.packets_carried += 1
+        self.bits_carried += packet.size_bits
+        self.busy_ps += ser
+        arrival_delay = (
+            ser + self.config.serdes_latency_ps + self.config.propagation_ps
+        )
+        engine.schedule(arrival_delay, self._deliver, packet)
+
+    def _deliver(self, engine: Engine, packet: Packet) -> None:
+        packet.advance()
+        self.dst_queue.push(packet, engine.now)
+        if self.on_delivery is not None:
+            self.on_delivery(engine, self.dst_queue)
+
+    def return_credit(self, engine: Engine) -> None:
+        """Called by the downstream router when a packet leaves its queue."""
+        if self._credits is not None:
+            self._credits += 1
+        # Retrying immediately models an ideal credit wire; the 2 ns
+        # SerDes latency already dominates real credit-return time.
+        if self.channel.is_free(engine.now):
+            self.channel.grant(engine)

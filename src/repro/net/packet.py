@@ -1,0 +1,249 @@
+"""Memory-network packets.
+
+Four packet kinds exist (Section 3.2): read requests and write
+acknowledgments are small *control* packets; write requests and read
+responses carry a cache line and are 5x larger *data* packets.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, Optional
+
+from repro.config import PacketConfig
+
+
+class PacketKind(enum.IntEnum):
+    READ_REQ = 0
+    WRITE_REQ = 1
+    READ_RESP = 2
+    WRITE_ACK = 3
+
+    @property
+    def is_request(self) -> bool:
+        return self in (PacketKind.READ_REQ, PacketKind.WRITE_REQ)
+
+    @property
+    def is_response(self) -> bool:
+        return not self.is_request
+
+    @property
+    def carries_data(self) -> bool:
+        """Data packets are write requests and read responses."""
+        return self in (PacketKind.WRITE_REQ, PacketKind.READ_RESP)
+
+    @property
+    def is_write_class(self) -> bool:
+        """Write-class traffic (used for skip-list differentiated routing)."""
+        return self in (PacketKind.WRITE_REQ, PacketKind.WRITE_ACK)
+
+    def response_kind(self) -> "PacketKind":
+        if self is PacketKind.READ_REQ:
+            return PacketKind.READ_RESP
+        if self is PacketKind.WRITE_REQ:
+            return PacketKind.WRITE_ACK
+        raise ValueError(f"{self!r} is not a request kind")
+
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One packet traversing the MN.
+
+    ``route`` is the full node-id path (host included) assigned at
+    injection (requests) or at the memory cube (responses); ``hop_index``
+    points at the position of the node currently holding the packet.
+    """
+
+    __slots__ = (
+        "pid",
+        "kind",
+        "address",
+        "src",
+        "dest",
+        "size_bits",
+        "route",
+        "hop_index",
+        "create_ps",
+        "inject_ps",
+        "mem_arrive_ps",
+        "mem_depart_ps",
+        "complete_ps",
+        "hops_traversed",
+        "transaction",
+        "source_tech",
+    )
+
+    def __init__(
+        self,
+        kind: PacketKind,
+        address: int,
+        src: int,
+        dest: int,
+        size_bits: int,
+        create_ps: int,
+        transaction: Optional["Transaction"] = None,
+    ) -> None:
+        self.pid = next(_packet_ids)
+        self.kind = kind
+        self.address = address
+        self.src = src
+        self.dest = dest
+        self.size_bits = size_bits
+        self.route: List[int] = []
+        self.hop_index = 0
+        self.create_ps = create_ps
+        self.inject_ps: Optional[int] = None
+        self.mem_arrive_ps: Optional[int] = None
+        self.mem_depart_ps: Optional[int] = None
+        self.complete_ps: Optional[int] = None
+        self.hops_traversed = 0
+        self.transaction = transaction
+        self.source_tech: Optional[str] = None  # tech of responding cube
+
+    # ------------------------------------------------------------------
+    @property
+    def current_node(self) -> int:
+        return self.route[self.hop_index]
+
+    @property
+    def next_node(self) -> int:
+        return self.route[self.hop_index + 1]
+
+    @property
+    def at_destination(self) -> bool:
+        return self.hop_index == len(self.route) - 1
+
+    @property
+    def hops_remaining(self) -> int:
+        return len(self.route) - 1 - self.hop_index
+
+    def advance(self) -> None:
+        self.hop_index += 1
+        self.hops_traversed += 1
+
+    def total_route_hops(self) -> int:
+        return max(len(self.route) - 1, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(#{self.pid} {self.kind.name} addr=0x{self.address:x} "
+            f"{self.src}->{self.dest} hop {self.hop_index}/{len(self.route) - 1})"
+        )
+
+
+class Transaction:
+    """One memory transaction: a request packet and its response.
+
+    Also carries the latency-breakdown bookkeeping used by Fig 5:
+    ``to_memory`` (injection queue + request network), ``in_memory``
+    (controller queue + array access), ``from_memory`` (response
+    network).
+    """
+
+    __slots__ = (
+        "tid",
+        "address",
+        "is_write",
+        "port_id",
+        "dest_cube",
+        "location",
+        "issue_ps",
+        "start_ps",
+        "inject_ps",
+        "mem_arrive_ps",
+        "mem_depart_ps",
+        "complete_ps",
+        "request_hops",
+        "response_hops",
+        "dest_tech",
+        "row_hit",
+        "read_seq",
+    )
+
+    _ids = itertools.count()
+
+    def __init__(self, address: int, is_write: bool, port_id: int, issue_ps: int):
+        self.tid = next(Transaction._ids)
+        self.address = address
+        self.is_write = is_write
+        self.port_id = port_id
+        self.dest_cube: Optional[int] = None
+        self.location = None  # decoded (cube, quadrant, bank, row)
+        self.issue_ps = issue_ps
+        self.start_ps: Optional[int] = None  # window grant (enters mem system)
+        self.inject_ps: Optional[int] = None
+        self.mem_arrive_ps: Optional[int] = None
+        self.mem_depart_ps: Optional[int] = None
+        self.complete_ps: Optional[int] = None
+        self.request_hops = 0
+        self.response_hops = 0
+        self.dest_tech: Optional[str] = None
+        self.row_hit: Optional[bool] = None
+        self.read_seq: Optional[int] = None  # in-order retirement index
+
+    # latency components (valid once complete) --------------------------
+    # The breakdown clock starts when the request enters the memory
+    # system (window grant at the coherence point), matching the paper's
+    # per-request latency accounting; core-side stall time before the
+    # grant shows up in runtime, not in the breakdown.
+    @property
+    def _t0(self) -> int:
+        return self.start_ps if self.start_ps is not None else self.issue_ps
+
+    @property
+    def to_memory_ps(self) -> int:
+        return (self.mem_arrive_ps or 0) - self._t0
+
+    @property
+    def in_memory_ps(self) -> int:
+        return (self.mem_depart_ps or 0) - (self.mem_arrive_ps or 0)
+
+    @property
+    def from_memory_ps(self) -> int:
+        return (self.complete_ps or 0) - (self.mem_depart_ps or 0)
+
+    @property
+    def total_ps(self) -> int:
+        return (self.complete_ps or 0) - self._t0
+
+    @property
+    def core_stall_ps(self) -> int:
+        """Core-side wait before the window grant (not in the breakdown)."""
+        return self._t0 - self.issue_ps
+
+
+def request_packet(
+    config: PacketConfig, txn: Transaction, now_ps: int
+) -> Packet:
+    """Build the request packet for a transaction."""
+    kind = PacketKind.WRITE_REQ if txn.is_write else PacketKind.READ_REQ
+    size = config.data_bits if kind.carries_data else config.control_bits
+    pkt = Packet(
+        kind=kind,
+        address=txn.address,
+        src=-1,  # host; concrete node ids are assigned by the system
+        dest=txn.dest_cube if txn.dest_cube is not None else -1,
+        size_bits=size,
+        create_ps=now_ps,
+        transaction=txn,
+    )
+    return pkt
+
+
+def response_packet(config: PacketConfig, request: Packet, now_ps: int) -> Packet:
+    """Build the response for a delivered request (read data / write ack)."""
+    kind = request.kind.response_kind()
+    size = config.data_bits if kind.carries_data else config.control_bits
+    pkt = Packet(
+        kind=kind,
+        address=request.address,
+        src=request.dest,
+        dest=request.src,
+        size_bits=size,
+        create_ps=now_ps,
+        transaction=request.transaction,
+    )
+    return pkt

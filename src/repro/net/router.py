@@ -1,0 +1,196 @@
+"""The per-package switch: input queues, output ports, arbitration.
+
+Every node (host, memory cube, MetaCube interface chip) owns one
+Router.  Packets sit in finite input queues; each output port runs an
+arbiter that picks among the input queues whose head packet needs that
+output.  Responses are prioritized over requests on shared links — the
+deadlock-avoidance rule whose queuing side-effects Section 3.2 analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arbitration.base import OutputArbiter
+from repro.errors import SimulationError
+from repro.net.buffers import InputQueue
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.engine import Engine
+
+LOCAL = -1  # output key for "terminate at this node"
+
+
+class OutputPort:
+    """Abstract output: either a link to a neighbour or local delivery."""
+
+    def can_accept(self, now_ps: int, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def dispatch(self, engine: Engine, packet: Packet, input_index: int) -> None:
+        raise NotImplementedError
+
+    @property
+    def exclusive(self) -> bool:
+        """True if one dispatch occupies the port (links serialize)."""
+        return False
+
+
+class LinkOutput(OutputPort):
+    """Forward packets over a point-to-point link."""
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+
+    def can_accept(self, now_ps: int, packet: Packet) -> bool:
+        return self.link.can_send(now_ps)
+
+    def dispatch(self, engine: Engine, packet: Packet, input_index: int) -> None:
+        self.link.send(engine, packet)
+
+    @property
+    def exclusive(self) -> bool:
+        return True
+
+
+class LocalOutput(OutputPort):
+    """Deliver packets into the node itself (cube memory / host sink).
+
+    ``accept_fn(packet)`` checks buffer space; ``deliver_fn(engine,
+    packet, input_index)`` performs the hand-off (and models any
+    intra-package penalty, e.g. wrong-quadrant routing).
+    """
+
+    def __init__(
+        self,
+        accept_fn: Callable[[Packet], bool],
+        deliver_fn: Callable[[Engine, Packet, int], None],
+    ) -> None:
+        self.accept_fn = accept_fn
+        self.deliver_fn = deliver_fn
+
+    def can_accept(self, now_ps: int, packet: Packet) -> bool:
+        return self.accept_fn(packet)
+
+    def dispatch(self, engine: Engine, packet: Packet, input_index: int) -> None:
+        self.deliver_fn(engine, packet, input_index)
+
+
+class Router:
+    """Input-queued switch with per-output arbitration."""
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        arbiter_factory: Callable[[], OutputArbiter],
+        response_priority: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self.name = name
+        self.inputs: List[InputQueue] = []
+        self.outputs: Dict[int, OutputPort] = {}
+        self._arbiters: Dict[int, OutputArbiter] = {}
+        self._arbiter_factory = arbiter_factory
+        self.response_priority = response_priority
+        self.grants: Dict[int, int] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_input(self, queue: InputQueue) -> int:
+        """Register an input queue; returns its stable input index."""
+        self.inputs.append(queue)
+        return len(self.inputs) - 1
+
+    def add_output(self, key: int, port: OutputPort) -> None:
+        if key in self.outputs:
+            raise SimulationError(f"router {self.name}: duplicate output {key}")
+        self.outputs[key] = port
+        self._arbiters[key] = self._arbiter_factory()
+
+    def arbiter_for(self, key: int) -> OutputArbiter:
+        return self._arbiters[key]
+
+    # -- routing ----------------------------------------------------------
+    def _output_key(self, packet: Packet) -> int:
+        if packet.at_destination:
+            return LOCAL
+        return packet.next_node
+
+    # -- event entry points -------------------------------------------------
+    def packet_arrived(self, engine: Engine, _queue: InputQueue) -> None:
+        """A packet was pushed into one of our input queues."""
+        # Only the head packet of each queue is eligible; try every
+        # output that some head currently needs (cheap: few queues).
+        self.kick(engine)
+
+    def output_ready(self, engine: Engine, key: int) -> None:
+        """An output link went idle or received a credit back."""
+        self._try_output(engine, key)
+
+    def has_response_head(self, key: int) -> bool:
+        """True if any input head bound for ``key`` is a response.
+
+        Used by shared channels to grant the response direction first
+        (the paper's deadlock-avoidance priority, Section 3.2).
+        """
+        for queue in self.inputs:
+            if queue.is_empty:
+                continue
+            head = queue.head()
+            if head.kind.is_response and self._output_key(head) == key:
+                return True
+        return False
+
+    def kick(self, engine: Engine) -> None:
+        """Attempt arbitration for every output with demand."""
+        needed = set()
+        for queue in self.inputs:
+            if not queue.is_empty:
+                needed.add(self._output_key(queue.head()))
+        for key in needed:
+            self._try_output(engine, key)
+
+    # -- core arbitration loop ---------------------------------------------
+    def _try_output(self, engine: Engine, key: int) -> None:
+        port = self.outputs.get(key)
+        if port is None:
+            raise SimulationError(
+                f"router {self.name}: head packet needs unknown output {key}"
+            )
+        arbiter = self._arbiters[key]
+        while True:
+            candidates: List[Tuple[int, Packet]] = []
+            for index, queue in enumerate(self.inputs):
+                if queue.is_empty:
+                    continue
+                head = queue.head()
+                if self._output_key(head) != key:
+                    continue
+                if not port.can_accept(engine.now, head):
+                    continue
+                candidates.append((index, head))
+            if not candidates:
+                return
+            if self.response_priority:
+                responses = [c for c in candidates if c[1].kind.is_response]
+                if responses:
+                    candidates = responses
+            pos = arbiter.pick(engine.now, candidates)
+            if not 0 <= pos < len(candidates):
+                raise SimulationError(
+                    f"arbiter {arbiter.name} returned invalid index {pos}"
+                )
+            index, packet = candidates[pos]
+            queue = self.inputs[index]
+            popped = queue.pop(engine.now)
+            if popped is not packet:
+                raise SimulationError("arbiter must select queue heads")
+            arbiter.record_grant()
+            self.grants[key] = self.grants.get(key, 0) + 1
+            port.dispatch(engine, packet, index)
+            if queue.upstream_link is not None:
+                queue.upstream_link.return_credit(engine)
+            elif queue.on_drain is not None:
+                queue.on_drain(engine)
+            if port.exclusive:
+                return  # link busy until serialization completes

@@ -1,0 +1,106 @@
+"""Route tables: deterministic shortest paths per traffic class.
+
+The skip-list topology differentiates traffic (Section 4.2): read-class
+packets may use every link, write-class packets are restricted to the
+central chain.  Other topologies expose a single class.  Routes are
+computed by breadth-first search with deterministic tie-breaking
+(lowest-numbered neighbour first), mirroring Garnet's static shortest
+path tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import RoutingError
+
+
+class RouteClass(enum.IntEnum):
+    READ = 0
+    WRITE = 1
+
+
+Path = Tuple[int, ...]
+
+
+def bfs_paths(
+    adjacency: Mapping[int, Sequence[int]], source: int
+) -> Dict[int, Path]:
+    """Shortest paths from ``source`` to every reachable node.
+
+    Neighbours are visited in sorted order so path choice is stable.
+    """
+    paths: Dict[int, Path] = {source: (source,)}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        base = paths[node]
+        for neighbor in sorted(adjacency.get(node, ())):
+            if neighbor not in paths:
+                paths[neighbor] = base + (neighbor,)
+                frontier.append(neighbor)
+    return paths
+
+
+class RouteTable:
+    """Precomputed host<->cube paths for each traffic class."""
+
+    def __init__(
+        self,
+        adjacency_by_class: Mapping[RouteClass, Mapping[int, Sequence[int]]],
+        host_id: int,
+        cube_ids: Iterable[int],
+    ) -> None:
+        self.host_id = host_id
+        self.cube_ids = tuple(sorted(cube_ids))
+        self._to_cube: Dict[RouteClass, Dict[int, Path]] = {}
+        self._to_host: Dict[RouteClass, Dict[int, Path]] = {}
+        for cls, adjacency in adjacency_by_class.items():
+            forward = bfs_paths(adjacency, host_id)
+            missing = [c for c in self.cube_ids if c not in forward]
+            if missing:
+                raise RoutingError(
+                    f"cubes {missing} unreachable from host for {cls.name} class"
+                )
+            self._to_cube[cls] = {c: forward[c] for c in self.cube_ids}
+            # Links are bidirectional pairs, so the reverse path is valid.
+            self._to_host[cls] = {
+                c: tuple(reversed(forward[c])) for c in self.cube_ids
+            }
+
+    # ------------------------------------------------------------------
+    def classes(self) -> List[RouteClass]:
+        return sorted(self._to_cube)
+
+    def _class_or_fallback(self, cls: RouteClass) -> RouteClass:
+        if cls in self._to_cube:
+            return cls
+        return RouteClass.READ
+
+    def route_to_cube(self, cube_id: int, cls: RouteClass) -> Path:
+        cls = self._class_or_fallback(cls)
+        try:
+            return self._to_cube[cls][cube_id]
+        except KeyError:
+            raise RoutingError(f"no route to cube {cube_id}") from None
+
+    def route_to_host(self, cube_id: int, cls: RouteClass) -> Path:
+        cls = self._class_or_fallback(cls)
+        try:
+            return self._to_host[cls][cube_id]
+        except KeyError:
+            raise RoutingError(f"no route from cube {cube_id}") from None
+
+    def distance(self, cube_id: int, cls: RouteClass = RouteClass.READ) -> int:
+        """Hop count from the host to ``cube_id`` for a traffic class."""
+        return len(self.route_to_cube(cube_id, cls)) - 1
+
+    def max_distance(self, cls: RouteClass = RouteClass.READ) -> int:
+        return max(self.distance(c, cls) for c in self.cube_ids)
+
+    def mean_distance(self, cls: RouteClass = RouteClass.READ) -> float:
+        return sum(self.distance(c, cls) for c in self.cube_ids) / len(
+            self.cube_ids
+        )

@@ -1,0 +1,168 @@
+"""Simulation results: per-run aggregates and latency breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net.packet import Transaction
+from repro.sim.stats import RunningStat
+from repro.units import to_ns
+
+
+@dataclass
+class LatencyBreakdown:
+    """The Fig 5 decomposition: to-memory / in-memory / from-memory."""
+
+    to_memory: RunningStat = field(default_factory=RunningStat)
+    in_memory: RunningStat = field(default_factory=RunningStat)
+    from_memory: RunningStat = field(default_factory=RunningStat)
+
+    def add(self, txn: Transaction) -> None:
+        self.to_memory.add(txn.to_memory_ps)
+        self.in_memory.add(txn.in_memory_ps)
+        self.from_memory.add(txn.from_memory_ps)
+
+    @property
+    def to_memory_ns(self) -> float:
+        return to_ns(self.to_memory.mean)
+
+    @property
+    def in_memory_ns(self) -> float:
+        return to_ns(self.in_memory.mean)
+
+    @property
+    def from_memory_ns(self) -> float:
+        return to_ns(self.from_memory.mean)
+
+    @property
+    def total_ns(self) -> float:
+        return self.to_memory_ns + self.in_memory_ns + self.from_memory_ns
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_ns or 1.0
+        return {
+            "to_memory": self.to_memory_ns / total,
+            "in_memory": self.in_memory_ns / total,
+            "from_memory": self.from_memory_ns / total,
+        }
+
+
+class TransactionCollector:
+    """Streams completed transactions into aggregate statistics."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.all = LatencyBreakdown()
+        self.read_breakdown = LatencyBreakdown()
+        self.write_breakdown = LatencyBreakdown()
+        self.request_hops = RunningStat()
+        self.response_hops = RunningStat()
+        self.row_hits = 0
+        self.nvm_accesses = 0
+        self.last_complete_ps = 0
+
+    def add(self, txn: Transaction) -> None:
+        if txn.is_write:
+            self.writes += 1
+            self.write_breakdown.add(txn)
+        else:
+            self.reads += 1
+            self.read_breakdown.add(txn)
+        self.all.add(txn)
+        self.request_hops.add(txn.request_hops)
+        self.response_hops.add(txn.response_hops)
+        if txn.row_hit:
+            self.row_hits += 1
+        if txn.dest_tech == "NVM":
+            self.nvm_accesses += 1
+        if txn.complete_ps and txn.complete_ps > self.last_complete_ps:
+            self.last_complete_ps = txn.complete_ps
+
+    @property
+    def count(self) -> int:
+        return self.reads + self.writes
+
+
+@dataclass
+class EnergyReport:
+    """Dynamic energy totals in picojoules (Section 6.3 accounting)."""
+
+    network_pj: float = 0.0
+    interposer_pj: float = 0.0
+    memory_read_pj: float = 0.0
+    memory_write_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.network_pj
+            + self.interposer_pj
+            + self.memory_read_pj
+            + self.memory_write_pj
+        )
+
+
+@dataclass
+class SimResult:
+    """Everything a single simulation run reports."""
+
+    config_label: str
+    workload: str
+    runtime_ps: int
+    collector: TransactionCollector
+    energy: EnergyReport
+    mean_distance: float
+    max_distance: float
+    stalled_reads: int = 0
+    burst_mode_toggles: int = 0
+    events_processed: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- headline metrics ----------------------------------------------------
+    @property
+    def runtime_ns(self) -> float:
+        return to_ns(self.runtime_ps)
+
+    @property
+    def transactions(self) -> int:
+        return self.collector.count
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.collector.all.total_ns
+
+    @property
+    def read_fraction(self) -> float:
+        if self.collector.count == 0:
+            return 0.0
+        return self.collector.reads / self.collector.count
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.collector.count == 0:
+            return 0.0
+        return self.collector.row_hits / self.collector.count
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Relative speedup vs a baseline run (0.0 == same runtime)."""
+        if self.runtime_ps <= 0:
+            return 0.0
+        return baseline.runtime_ps / self.runtime_ps - 1.0
+
+    def summary(self) -> str:
+        breakdown = self.collector.all
+        return (
+            f"{self.config_label:>18} {self.workload:<10} "
+            f"runtime={self.runtime_ns / 1000.0:9.2f}us "
+            f"lat={breakdown.total_ns:7.1f}ns "
+            f"(to={breakdown.to_memory_ns:6.1f} in={breakdown.in_memory_ns:6.1f} "
+            f"from={breakdown.from_memory_ns:6.1f}) "
+            f"rowhit={self.row_hit_rate * 100.0:4.1f}%"
+        )
+
+
+def speedup_percent(result: SimResult, baseline: SimResult) -> float:
+    """Speedup of ``result`` over ``baseline`` in percent."""
+    return result.speedup_over(baseline) * 100.0

@@ -1,0 +1,90 @@
+"""Result serialization: SimResult -> plain dict / JSON and back-of-book
+reporting helpers.
+
+Simulation campaigns (sweeps, nightly regressions) need results that
+outlive the process; this module flattens :class:`SimResult` into
+JSON-serializable dictionaries and writes experiment bundles.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.results import SimResult
+
+
+def result_to_dict(result: SimResult) -> Dict[str, object]:
+    """Flatten a result into a JSON-serializable dictionary."""
+    breakdown = result.collector.all
+    return {
+        "config": result.config_label,
+        "workload": result.workload,
+        "runtime_ps": result.runtime_ps,
+        "transactions": result.transactions,
+        "reads": result.collector.reads,
+        "writes": result.collector.writes,
+        "latency": {
+            "to_memory_ns": breakdown.to_memory_ns,
+            "in_memory_ns": breakdown.in_memory_ns,
+            "from_memory_ns": breakdown.from_memory_ns,
+            "total_ns": breakdown.total_ns,
+        },
+        "hops": {
+            "request_mean": result.collector.request_hops.mean,
+            "response_mean": result.collector.response_hops.mean,
+        },
+        "row_hit_rate": result.row_hit_rate,
+        "nvm_access_fraction": (
+            result.collector.nvm_accesses / result.transactions
+            if result.transactions
+            else 0.0
+        ),
+        "energy_pj": {
+            "network": result.energy.network_pj,
+            "interposer": result.energy.interposer_pj,
+            "memory_read": result.energy.memory_read_pj,
+            "memory_write": result.energy.memory_write_pj,
+            "total": result.energy.total_pj,
+        },
+        "topology": {
+            "mean_distance": result.mean_distance,
+            "max_distance": result.max_distance,
+        },
+        "stalled_reads": result.stalled_reads,
+        "events_processed": result.events_processed,
+    }
+
+
+def save_results(
+    results: List[SimResult], path: Union[str, Path], indent: int = 2
+) -> None:
+    """Write a list of results as a JSON array."""
+    payload = [result_to_dict(result) for result in results]
+    Path(path).write_text(json.dumps(payload, indent=indent) + "\n")
+
+
+def load_results(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load previously saved result dictionaries (data, not SimResults)."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"{path}: expected a JSON array of results")
+    return payload
+
+
+def compare_summary(
+    baseline: Dict[str, object], candidate: Dict[str, object]
+) -> Dict[str, float]:
+    """Headline deltas between two saved results (same workload)."""
+    if baseline["workload"] != candidate["workload"]:
+        raise ValueError("results compare different workloads")
+    speedup = baseline["runtime_ps"] / candidate["runtime_ps"] - 1.0
+    base_energy = baseline["energy_pj"]["total"] or 1.0
+    return {
+        "speedup_percent": speedup * 100.0,
+        "latency_delta_ns": (
+            candidate["latency"]["total_ns"] - baseline["latency"]["total_ns"]
+        ),
+        "energy_ratio": candidate["energy_pj"]["total"] / base_energy,
+    }

@@ -1,0 +1,117 @@
+"""Event scheduler with an integer picosecond clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Engine:
+    """A deterministic discrete-event scheduler.
+
+    Events are ``(time, sequence, callback, args)`` tuples ordered by
+    time and, for equal times, by scheduling order.  Callbacks receive
+    the engine as their first argument so components do not need to
+    close over it.
+
+    Example
+    -------
+    >>> engine = Engine()
+    >>> fired = []
+    >>> engine.schedule(5, lambda eng: fired.append(eng.now))
+    >>> engine.run()
+    >>> fired
+    [5]
+    """
+
+    __slots__ = ("_queue", "_now", "_seq", "_events_processed", "_running")
+
+    def __init__(self) -> None:
+        self._queue: list = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue."""
+        return len(self._queue)
+
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(engine, *args)`` after ``delay`` ps."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} scheduled at t={self._now}")
+        self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(engine, *args)`` at absolute ``time`` ps."""
+        if time < self._now:
+            raise SimulationError(
+                f"event scheduled in the past: t={time} < now={self._now}"
+            )
+        heapq.heappush(self._queue, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run until the queue drains, ``until`` is reached, or a limit hits.
+
+        Parameters
+        ----------
+        until:
+            Absolute time bound (inclusive).  Events scheduled later stay
+            queued and ``now`` advances to ``until``.
+        max_events:
+            Safety valve against runaway simulations.
+        stop_when:
+            Optional predicate checked after every event; the run stops
+            as soon as it returns True.
+
+        Returns the number of events processed during this call.
+        """
+        processed = 0
+        self._running = True
+        try:
+            while self._queue:
+                time = self._queue[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                time, _seq, callback, args = heapq.heappop(self._queue)
+                self._now = time
+                callback(self, *args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"event limit {max_events} exceeded at t={self._now}; "
+                        "likely livelock"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return processed
+
+    def drain(self) -> None:
+        """Discard all pending events (used to tear a system down)."""
+        self._queue.clear()

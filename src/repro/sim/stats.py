@@ -1,0 +1,143 @@
+"""Lightweight statistics collectors used throughout the simulator."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class RunningStat:
+    """Streaming mean / variance / min / max (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another collector into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min, self.max, self.total = other.min, other.max, other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total = n1 + n2
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total
+        self._mean += delta * n2 / total
+        self.count = total
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunningStat(n={self.count}, mean={self.mean:.2f})"
+
+
+class Histogram:
+    """Fixed-width bucket histogram with overflow bucket."""
+
+    def __init__(self, bucket_width: float, num_buckets: int = 64) -> None:
+        if bucket_width <= 0 or num_buckets <= 0:
+            raise ValueError("bucket_width and num_buckets must be positive")
+        self.bucket_width = bucket_width
+        self.buckets = [0] * num_buckets
+        self.overflow = 0
+        self.stat = RunningStat()
+
+    def add(self, value: float) -> None:
+        self.stat.add(value)
+        index = int(value / self.bucket_width)
+        if 0 <= index < len(self.buckets):
+            self.buckets[index] += 1
+        else:
+            self.overflow += 1
+
+    @property
+    def count(self) -> int:
+        return self.stat.count
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile from bucket midpoints (0 < fraction <= 1)."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                return (i + 0.5) * self.bucket_width
+        return (len(self.buckets) + 0.5) * self.bucket_width
+
+
+class StatsRegistry:
+    """Named collection of counters and RunningStats for one simulation."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.stats: Dict[str, RunningStat] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record(self, name: str, value: float) -> None:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = RunningStat()
+            self.stats[name] = stat
+        stat.add(value)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        stat = self.stats.get(name)
+        return stat.mean if stat else 0.0
+
+    def names(self) -> List[str]:
+        return sorted(set(self.counters) | set(self.stats))
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = dict(self.counters)
+        for name, stat in self.stats.items():
+            out[f"{name}.mean"] = stat.mean
+            out[f"{name}.count"] = stat.count
+        return out

@@ -1,0 +1,314 @@
+"""System assembly: build one memory network and run a workload on it.
+
+:class:`MemoryNetworkSystem` is the package's main entry point.  It
+instantiates the configured topology, wires routers/links/cubes/host,
+drives the workload to completion, and returns a :class:`SimResult`.
+
+A system models **one host port's MN**.  Ports serve disjoint address
+slices (Section 2.3), so the per-port run is representative of the full
+machine; the configured port count still sets the per-port capacity
+(hence cube count) and the per-port share of the workload's offered
+load.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.arbitration import ArbiterContext, make_arbiter_factory
+from repro.config import SystemConfig
+from repro.energy import EnergyModel
+from repro.errors import SimulationError
+from repro.host import AddressMap, HostNode, HostPort
+from repro.memory import MemoryCube
+from repro.net.buffers import InputQueue
+from repro.net.link import Link, SharedChannel
+from repro.net.packet import Packet, PacketKind, Transaction
+from repro.net.router import LinkOutput, Router
+from repro.net.routing import RouteClass, RouteTable
+from repro.results import SimResult, TransactionCollector
+from repro.sim import Engine, derive_seed
+from repro.topology import Topology, build_topology
+from repro.topology.base import HOST_ID, LinkKind, NodeKind
+from repro.units import serialization_ps
+from repro.workloads import Request, SyntheticWorkload, WorkloadSpec
+
+
+class MemoryNetworkSystem:
+    """One fully-wired MN simulation instance (single use)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: WorkloadSpec,
+        requests: int = 2000,
+        workload_iter: Optional[Iterator[Request]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.workload_spec = workload
+        self.requests = requests
+        self.engine = Engine()
+        self.topology: Topology = build_topology(config)
+        self.route_table = RouteTable(
+            self.topology.adjacency_by_class(),
+            HOST_ID,
+            self.topology.cube_ids(),
+        )
+        self.collector = TransactionCollector()
+
+        self._links: List[Tuple[Link, LinkKind]] = []
+        self._routers: Dict[int, Router] = {}
+        self._link_input_index: Dict[Tuple[int, int], int] = {}
+        self.cubes: Dict[int, MemoryCube] = {}
+
+        self._build_routers()
+        self._wire_edges()
+        self._fill_subtree_weights()
+        self._build_address_map()
+        self._build_port(workload, requests, workload_iter)
+        self._warmup_count = int(requests * config.warmup_fraction)
+        self._completed_count = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _arbiter_context(self) -> ArbiterContext:
+        distance = {
+            cube: self.route_table.distance(cube, RouteClass.READ)
+            for cube in self.topology.cube_ids()
+        }
+        tech = {
+            cube: self.topology.tech_of(cube) for cube in self.topology.cube_ids()
+        }
+        link = self.config.link
+        hop_ps = link.serdes_latency_ps + serialization_ps(
+            self.config.packet.data_bits, link.lanes, link.lane_gbps
+        )
+        dram, nvm = self.config.dram, self.config.nvm
+        nvm_extra_ps = (nvm.trcd_ps + nvm.tcl_ps) - (dram.trcd_ps + dram.tcl_ps)
+        bonus = max(nvm_extra_ps / hop_ps, 0.0) if hop_ps else 0.0
+        return ArbiterContext(
+            distance_to_host=distance,
+            tech_of_node=tech,
+            nvm_bonus_hops=bonus,
+        )
+
+    def _build_routers(self) -> None:
+        for node in sorted(self.topology.nodes):
+            spec = self.topology.nodes[node]
+            context = self._arbiter_context()  # per-router arbiter state
+            factory = make_arbiter_factory(self.config.arbiter, context)
+            router = Router(
+                node_id=node,
+                name=f"{spec.kind.name.lower()}{node}",
+                arbiter_factory=factory,
+            )
+            self._routers[node] = router
+            if spec.kind == NodeKind.HOST:
+                self.host_node = HostNode(router, self.config.host.inject_queue_depth)
+            elif spec.kind == NodeKind.CUBE:
+                tech = self.config.dram if spec.tech == "DRAM" else self.config.nvm
+                self.cubes[node] = MemoryCube(
+                    node_id=node,
+                    tech=tech,
+                    cube_config=self.config.cube,
+                    packet_config=self.config.packet,
+                    router=router,
+                    route_response=self._route_response,
+                    bank_scale=self.config.capacity_scale,
+                )
+            # SWITCH nodes are pure routers: no local output needed.
+
+    def _wire_edges(self) -> None:
+        for edge in self.topology.edges:
+            link_config = (
+                self.config.interposer_link
+                if edge.link_kind == LinkKind.INTERPOSER
+                else self.config.link
+            )
+            # One shared serializer per edge unless full duplex is asked
+            # for (Section 5: a single link joins two packages).
+            shared = None
+            if not link_config.full_duplex:
+                shared = SharedChannel(f"{edge.a}<->{edge.b}")
+            for src, dst in ((edge.a, edge.b), (edge.b, edge.a)):
+                queue = InputQueue(
+                    f"n{dst}.from{src}", link_config.input_buffer_packets
+                )
+                dst_router = self._routers[dst]
+                index = dst_router.add_input(queue)
+                self._link_input_index[(src, dst)] = index
+                link = Link(f"{src}->{dst}", link_config, queue, channel=shared)
+                src_router = self._routers[src]
+                src_router.add_output(dst, LinkOutput(link))
+                link.on_idle = self._make_output_ready(src_router, dst)
+                link.on_delivery = dst_router.packet_arrived
+                link.sender_has_response_head = self._make_response_peek(
+                    src_router, dst
+                )
+                self._links.append((link, edge.link_kind))
+
+    @staticmethod
+    def _make_response_peek(router: Router, key: int) -> Callable[[], bool]:
+        def peek() -> bool:
+            return router.has_response_head(key)
+
+        return peek
+
+    @staticmethod
+    def _make_output_ready(router: Router, key: int) -> Callable[[Engine], None]:
+        def callback(engine: Engine) -> None:
+            router.output_ready(engine, key)
+
+        return callback
+
+    def _fill_subtree_weights(self) -> None:
+        """Static weights for the global-weighted arbiter ablation."""
+        for cube in self.topology.cube_ids():
+            path = self.route_table.route_to_host(cube, RouteClass.READ)
+            for upstream, downstream in zip(path, path[1:]):
+                index = self._link_input_index.get((upstream, downstream))
+                if index is None:
+                    continue
+                router = self._routers[downstream]
+                for key in router.outputs:
+                    context = router.arbiter_for(key).context
+                    context.subtree_weights[index] = (
+                        context.subtree_weights.get(index, 0) + 1
+                    )
+
+    def _build_address_map(self) -> None:
+        cube_ids = self.topology.cube_ids()
+        scale = self.config.capacity_scale
+        capacities = []
+        for cube in cube_ids:
+            tech = self.config.dram if self.topology.tech_of(cube) == "DRAM" else (
+                self.config.nvm
+            )
+            capacities.append(int(tech.capacity_bytes * scale))
+        self.address_map = AddressMap(
+            cube_capacities=capacities,
+            interleave_bytes=self.config.host.interleave_bytes,
+            row_bytes=self.config.cube.row_bytes,
+            banks_per_stack=max(
+                1, int(self.config.cube.banks_per_stack * scale)
+            ),
+            num_quadrants=self.config.cube.num_quadrants,
+        )
+        self.cube_node_ids = cube_ids
+
+    def _build_port(
+        self,
+        workload: WorkloadSpec,
+        requests: int,
+        workload_iter: Optional[Iterator[Request]],
+    ) -> None:
+        if workload_iter is None:
+            # Note: the seed deliberately excludes the MN configuration so
+            # every config sees the *same* request stream for a workload —
+            # speedups then compare like against like.
+            seed = derive_seed(self.config.seed, workload.name)
+            workload_iter = SyntheticWorkload(
+                spec=workload,
+                port_capacity_bytes=self.address_map.total_bytes,
+                seed=seed,
+                num_ports=self.config.host.num_ports,
+            )
+        self.port = HostPort(
+            port_id=0,
+            config=self.config,
+            workload=workload_iter,
+            total_requests=requests,
+            address_map=self.address_map,
+            cube_node_ids=self.cube_node_ids,
+            route_table=self.route_table,
+            inject_queue=self.host_node.inject_queue,
+            router=self._routers[HOST_ID],
+            on_transaction_done=self._transaction_done,
+            window=workload.mlp,
+        )
+        self.host_node.attach_port(self.port.on_response)
+
+    # ------------------------------------------------------------------
+    # runtime callbacks
+    # ------------------------------------------------------------------
+    def _route_response(self, response: Packet) -> None:
+        cls = (
+            RouteClass.WRITE
+            if response.kind == PacketKind.WRITE_ACK
+            else RouteClass.READ
+        )
+        response.route = list(self.route_table.route_to_host(response.src, cls))
+        response.hop_index = 0
+
+    def _transaction_done(self, engine: Engine, txn: Transaction) -> None:
+        self._completed_count += 1
+        if self._completed_count > self._warmup_count:
+            self.collector.add(txn)
+        else:
+            # warm-up transactions still define the runtime envelope
+            if txn.complete_ps and txn.complete_ps > self.collector.last_complete_ps:
+                self.collector.last_complete_ps = txn.complete_ps
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> SimResult:
+        if self._started:
+            raise SimulationError("a MemoryNetworkSystem instance is single-use")
+        self._started = True
+        for cube in self.cubes.values():
+            cube.start(self.engine)
+        self.port.start(self.engine)
+        if max_events is None:
+            max_events = 4000 * self.requests + 2_000_000
+        self.engine.run(max_events=max_events, stop_when=lambda: self.port.done)
+        if not self.port.done:
+            raise SimulationError(
+                f"simulation stalled: {self.port.completed}/{self.requests} "
+                f"transactions completed at t={self.engine.now}"
+            )
+        self.engine.drain()
+        return self._result()
+
+    def _result(self) -> SimResult:
+        external_bits = sum(
+            link.bits_carried for link, kind in self._links if kind == LinkKind.EXTERNAL
+        )
+        interposer_bits = sum(
+            link.bits_carried
+            for link, kind in self._links
+            if kind == LinkKind.INTERPOSER
+        )
+        accesses = []
+        for node, cube in self.cubes.items():
+            accesses.append((cube.tech, cube.total_reads(), cube.total_writes()))
+        energy = EnergyModel(self.config.energy, self.config.packet).report(
+            external_bits, interposer_bits, accesses
+        )
+        return SimResult(
+            config_label=self.config.label(),
+            workload=self.workload_spec.name,
+            runtime_ps=self.collector.last_complete_ps,
+            collector=self.collector,
+            energy=energy,
+            mean_distance=self.route_table.mean_distance(),
+            max_distance=self.route_table.max_distance(),
+            stalled_reads=self.port.directory.stalled_reads,
+            burst_mode_toggles=self.port.burst_mode_toggles,
+            events_processed=self.engine.events_processed,
+        )
+
+
+def simulate(
+    config: SystemConfig,
+    workload: WorkloadSpec,
+    requests: int = 2000,
+    workload_iter: Optional[Iterator[Request]] = None,
+) -> SimResult:
+    """Convenience one-shot: build a system, run it, return the result."""
+    return MemoryNetworkSystem(
+        config, workload, requests=requests, workload_iter=workload_iter
+    ).run()

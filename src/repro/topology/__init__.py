@@ -1,0 +1,24 @@
+"""MN topologies: chain, ring, ternary tree, skip-list, MetaCube."""
+
+from repro.topology.base import EdgeSpec, NodeKind, NodeSpec, Topology
+from repro.topology.chain import build_chain
+from repro.topology.ring import build_ring
+from repro.topology.tree import build_tree
+from repro.topology.skiplist import build_skiplist
+from repro.topology.metacube import build_metacube
+from repro.topology.factory import build_topology
+from repro.topology.placement import assign_technologies
+
+__all__ = [
+    "EdgeSpec",
+    "NodeKind",
+    "NodeSpec",
+    "Topology",
+    "build_chain",
+    "build_ring",
+    "build_tree",
+    "build_skiplist",
+    "build_metacube",
+    "build_topology",
+    "assign_technologies",
+]

@@ -1,0 +1,29 @@
+"""Chain topology (Fig 3b): host -> cube1 -> cube2 -> ... -> cubeN.
+
+Minimizes ports per cube but has the worst hop counts; it is the
+normalization baseline for every speedup figure in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import HOST_ID, NodeKind, Topology, chain_positions
+
+
+def build_chain(techs: Sequence[str]) -> Topology:
+    """Build a chain for cubes with the given tech per position.
+
+    ``techs[i]`` is the technology of the cube ``i`` hops into the chain
+    (position 0 is adjacent to the host).
+    """
+    topo = Topology(name="chain")
+    topo.add_node(HOST_ID, NodeKind.HOST)
+    ids = chain_positions(len(techs))
+    for node_id, tech in zip(ids, techs):
+        topo.add_node(node_id, NodeKind.CUBE, tech=tech)
+    previous = HOST_ID
+    for node_id in ids:
+        topo.add_edge(previous, node_id, is_chain=True)
+        previous = node_id
+    return topo

@@ -1,0 +1,46 @@
+"""Build the configured topology from a :class:`SystemConfig`."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import config as cfg
+from repro.errors import ConfigError
+from repro.topology.base import Topology
+from repro.topology.chain import build_chain
+from repro.topology.metacube import build_metacube
+from repro.topology.placement import assign_technologies
+from repro.topology.ring import build_ring
+from repro.topology.skiplist import build_skiplist
+from repro.topology.tree import build_tree
+
+
+def build_topology(config: cfg.SystemConfig) -> Topology:
+    """Instantiate the MN graph for one host port."""
+    num_dram, num_nvm = config.cube_counts()
+    if config.topology == cfg.TOPOLOGY_METACUBE:
+        topo = build_metacube(
+            num_dram,
+            num_nvm,
+            placement=config.nvm_placement,
+            arity=config.metacube_arity,
+        )
+    else:
+        builders = {
+            cfg.TOPOLOGY_CHAIN: build_chain,
+            cfg.TOPOLOGY_RING: build_ring,
+            cfg.TOPOLOGY_TREE: build_tree,
+            cfg.TOPOLOGY_SKIPLIST: build_skiplist,
+        }
+        try:
+            builder = builders[config.topology]
+        except KeyError:
+            raise ConfigError(f"unknown topology {config.topology!r}") from None
+        techs: List[str] = assign_technologies(
+            builder, num_dram, num_nvm, config.nvm_placement
+        )
+        topo = builder(techs)
+    for a, b in config.failed_links:
+        topo.remove_edge(a, b)
+    topo.validate(max_cube_ports=config.cube.external_ports)
+    return topo

@@ -1,0 +1,52 @@
+"""NVM cube placement (Section 3.3): NVM-L (last) vs NVM-F (first).
+
+Positions are ranked by their shortest-path distance from the host in
+the finished shape; NVM-L assigns NVM cubes to the farthest positions,
+NVM-F to the nearest.  For a chain this is literally "the end of the
+chain" vs "adjacent to the processor", and the same rule generalizes to
+rings, trees, and skip-lists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.config import NVM_FIRST, NVM_LAST
+from repro.errors import TopologyError
+from repro.net.routing import RouteClass, bfs_paths
+from repro.topology.base import HOST_ID, Topology
+
+
+def position_distances(topo: Topology) -> List[int]:
+    """Hop distance from the host of each cube position (node-id order)."""
+    paths = bfs_paths(topo.adjacency(RouteClass.READ), HOST_ID)
+    return [len(paths[cube]) - 1 for cube in topo.cube_ids()]
+
+
+def assign_technologies(
+    build: Callable[[Sequence[str]], Topology],
+    num_dram: int,
+    num_nvm: int,
+    placement: str,
+) -> List[str]:
+    """Compute the tech of each position for a shape builder.
+
+    ``build`` constructs the topology from a per-position tech list (the
+    shape depends only on the cube count, so a dummy list suffices for
+    measuring distances).
+    """
+    count = num_dram + num_nvm
+    if count < 1:
+        raise TopologyError("need at least one cube")
+    shape = build(["DRAM"] * count)
+    distances = position_distances(shape)
+    order = sorted(range(count), key=lambda p: (distances[p], p))
+    if placement == NVM_LAST:
+        nvm_positions = set(order[count - num_nvm :]) if num_nvm else set()
+    elif placement == NVM_FIRST:
+        nvm_positions = set(order[:num_nvm])
+    else:
+        raise TopologyError(f"unknown placement {placement!r}")
+    return [
+        "NVM" if position in nvm_positions else "DRAM" for position in range(count)
+    ]

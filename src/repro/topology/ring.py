@@ -1,0 +1,34 @@
+"""Ring topology (Fig 3c): the chain closed into a loop.
+
+The host still attaches through a single link (Section 5: each port
+connects to *one* external link of *one* memory cube), so the loop runs
+cube0 -> cube1 -> ... -> cubeN-1 -> cube0.  Requests take the shorter
+branch around the loop, roughly halving the average hop count relative
+to the chain while leaving the host-link bandwidth unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import HOST_ID, NodeKind, Topology, chain_positions
+
+
+def build_ring(techs: Sequence[str]) -> Topology:
+    """Build a ring; position 0 is the cube attached to the host.
+
+    The shortest-path distance of position ``i`` is ``1 + min(i, n-i)``.
+    """
+    topo = Topology(name="ring")
+    topo.add_node(HOST_ID, NodeKind.HOST)
+    ids = chain_positions(len(techs))
+    for node_id, tech in zip(ids, techs):
+        topo.add_node(node_id, NodeKind.CUBE, tech=tech)
+    topo.add_edge(HOST_ID, ids[0], is_chain=True)
+    previous = ids[0]
+    for node_id in ids[1:]:
+        topo.add_edge(previous, node_id, is_chain=True)
+        previous = node_id
+    if len(ids) > 2:
+        topo.add_edge(ids[-1], ids[0], is_chain=True)
+    return topo

@@ -1,0 +1,41 @@
+"""Ternary tree topology (Fig 3d).
+
+Each cube spends one of its four ports on the uplink and up to three on
+children, so the worst-case hop count grows logarithmically (base 3).
+Positions are filled in breadth-first order; position 0 is the root
+attached to the host.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import HOST_ID, NodeKind, Topology, chain_positions
+
+
+def tree_parent(position: int, arity: int = 3) -> int:
+    """Parent *position* of a BFS-ordered tree position (root has none)."""
+    if position <= 0:
+        raise ValueError("the root has no parent")
+    return (position - 1) // arity
+
+
+def build_tree(techs: Sequence[str], arity: int = 3) -> Topology:
+    """Build an ``arity``-ary BFS-filled tree of cubes.
+
+    ``techs[i]`` is the technology at BFS position ``i``.
+    """
+    if arity < 1:
+        raise ValueError("tree arity must be >= 1")
+    topo = Topology(name="tree")
+    topo.add_node(HOST_ID, NodeKind.HOST)
+    ids = chain_positions(len(techs))
+    for node_id, tech in zip(ids, techs):
+        topo.add_node(node_id, NodeKind.CUBE, tech=tech)
+    for position, node_id in enumerate(ids):
+        if position == 0:
+            topo.add_edge(HOST_ID, node_id, is_chain=True)
+        else:
+            parent_id = ids[tree_parent(position, arity)]
+            topo.add_edge(parent_id, node_id, is_chain=True)
+    return topo

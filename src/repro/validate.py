@@ -1,0 +1,168 @@
+"""Built-in model self-checks.
+
+``run_self_check(config)`` exercises a configuration end-to-end and
+verifies first-principles invariants — useful after changing timing
+parameters, adding a topology, or porting the package.  Each check
+returns a :class:`CheckResult`; ``python -m repro selfcheck`` runs them
+from the shell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.config import SystemConfig
+from repro.system import MemoryNetworkSystem
+from repro.units import serialization_ps
+from repro.workloads import Request, WorkloadSpec
+
+_CHECK_SPEC = WorkloadSpec(
+    name="SELFCHECK",
+    read_fraction=0.7,
+    mean_gap_ns=3.0,
+    locality_lines=4.0,
+    mlp=16,
+)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.name}: {self.detail}"
+
+
+def _single_read_latency_check(config: SystemConfig) -> CheckResult:
+    """An isolated read to the nearest cube matches the analytic value."""
+    system = MemoryNetworkSystem(
+        config, _CHECK_SPEC, requests=1, workload_iter=iter([Request(0, False, 0)])
+    )
+    seen: List = []
+    original = system._transaction_done
+
+    def capture(engine, txn):
+        seen.append(txn)
+        original(engine, txn)
+
+    system.port.on_transaction_done = capture
+    system.run()
+    txn = seen[0]
+    link = config.link
+    hops = system.route_table.distance(txn.dest_cube)
+    control = serialization_ps(config.packet.control_bits, link.lanes, link.lane_gbps)
+    data = serialization_ps(config.packet.data_bits, link.lanes, link.lane_gbps)
+    per_hop = link.serdes_latency_ps + link.propagation_ps
+    tech = config.dram if txn.dest_tech == "DRAM" else config.nvm
+    expected = (
+        2 * config.host.port_latency_ps
+        + hops * (control + data + 2 * per_hop)
+        + tech.trcd_ps
+        + tech.tcl_ps
+    )
+    slack = abs(txn.total_ps - expected)
+    # allow the wrong-quadrant penalty and interposer-link differences
+    budget = config.cube.wrong_quadrant_penalty_ps + 2 * per_hop * hops
+    passed = slack <= budget
+    return CheckResult(
+        "single_read_latency",
+        passed,
+        f"measured {txn.total_ps} ps vs analytic {expected} ps "
+        f"(slack {slack}, budget {budget})",
+    )
+
+
+def _conservation_check(config: SystemConfig) -> CheckResult:
+    """Every injected request completes; memory sees each exactly once."""
+    requests = 300
+    system = MemoryNetworkSystem(config, _CHECK_SPEC, requests=requests)
+    result = system.run()
+    accesses = sum(
+        cube.total_reads() + cube.total_writes() for cube in system.cubes.values()
+    )
+    passed = result.transactions == requests and accesses == requests
+    return CheckResult(
+        "conservation",
+        passed,
+        f"{result.transactions}/{requests} transactions, {accesses} accesses",
+    )
+
+
+def _traffic_share_check(config: SystemConfig) -> CheckResult:
+    """Per-cube traffic matches the capacity-weighted interleave."""
+    requests = 1200
+    system = MemoryNetworkSystem(config, _CHECK_SPEC, requests=requests)
+    system.run()
+    worst = 0.0
+    for index, cube_id in enumerate(system.cube_node_ids):
+        cube = system.cubes[cube_id]
+        share = (cube.total_reads() + cube.total_writes()) / requests
+        expected = system.address_map.cube_share(index)
+        worst = max(worst, abs(share - expected))
+    passed = worst < 0.05
+    return CheckResult(
+        "traffic_share",
+        passed,
+        f"max |observed-expected| cube share = {worst:.3f} (< 0.05)",
+    )
+
+
+def _route_sanity_check(config: SystemConfig) -> CheckResult:
+    """Routes are loop-free, start at the host, end at their cube."""
+    system = MemoryNetworkSystem(config, _CHECK_SPEC, requests=1)
+    table = system.route_table
+    problems = []
+    for cube in system.topology.cube_ids():
+        for cls in table.classes():
+            route = table.route_to_cube(cube, cls)
+            if route[0] != 0 or route[-1] != cube or len(set(route)) != len(route):
+                problems.append((cube, cls.name))
+    return CheckResult(
+        "route_sanity",
+        not problems,
+        "all routes loop-free" if not problems else f"bad routes: {problems}",
+    )
+
+
+def _energy_check(config: SystemConfig) -> CheckResult:
+    """Energy accounting is positive and component-consistent."""
+    system = MemoryNetworkSystem(config, _CHECK_SPEC, requests=200)
+    result = system.run()
+    energy = result.energy
+    consistent = (
+        energy.total_pj
+        == energy.network_pj
+        + energy.interposer_pj
+        + energy.memory_read_pj
+        + energy.memory_write_pj
+    )
+    passed = consistent and energy.total_pj > 0
+    return CheckResult(
+        "energy_accounting",
+        passed,
+        f"total {energy.total_pj / 1e6:.2f} uJ, components consistent={consistent}",
+    )
+
+
+CHECKS: List[Callable[[SystemConfig], CheckResult]] = [
+    _route_sanity_check,
+    _single_read_latency_check,
+    _conservation_check,
+    _traffic_share_check,
+    _energy_check,
+]
+
+
+def run_self_check(config: Optional[SystemConfig] = None) -> List[CheckResult]:
+    """Run all checks against a configuration (default: paper baseline)."""
+    config = config or SystemConfig()
+    config.validate()
+    return [check(config) for check in CHECKS]
+
+
+def all_passed(results: List[CheckResult]) -> bool:
+    return all(result.passed for result in results)

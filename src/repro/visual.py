@@ -1,0 +1,90 @@
+"""ASCII renderings of MN topologies (the paper's Figs 3, 8, 9).
+
+These are documentation/debugging aids: ``render_topology`` draws any
+built topology as an adjacency sketch, and the shape-specific renderers
+draw the chain/skip-list structures the way the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.routing import RouteClass, bfs_paths
+from repro.topology.base import HOST_ID, LinkKind, NodeKind, Topology
+from repro.topology.skiplist import plan_skip_links
+
+
+def _node_tag(topo: Topology, node_id: int) -> str:
+    spec = topo.nodes[node_id]
+    if spec.kind == NodeKind.HOST:
+        return "APU"
+    if spec.kind == NodeKind.SWITCH:
+        return f"[sw{node_id}]"
+    tech = (spec.tech or "?")[0]  # D / N
+    return f"{tech}{node_id}"
+
+
+def render_topology(topo: Topology) -> str:
+    """Adjacency sketch grouped by distance from the host."""
+    paths = bfs_paths(topo.adjacency(RouteClass.READ), HOST_ID)
+    by_depth: Dict[int, List[int]] = {}
+    for node, path in paths.items():
+        by_depth.setdefault(len(path) - 1, []).append(node)
+    lines = [f"topology: {topo.name}  (D=DRAM cube, N=NVM cube, sw=switch)"]
+    for depth in sorted(by_depth):
+        tags = "  ".join(_node_tag(topo, n) for n in sorted(by_depth[depth]))
+        lines.append(f"  hop {depth}: {tags}")
+    lines.append("links:")
+    for edge in topo.edges:
+        marker = "~" if edge.link_kind == LinkKind.INTERPOSER else "-"
+        classes = "RW" if RouteClass.WRITE in edge.classes else "R "
+        lines.append(
+            f"  {_node_tag(topo, edge.a):>7} {marker}{marker} "
+            f"{_node_tag(topo, edge.b):<7} [{classes}]"
+        )
+    return "\n".join(lines)
+
+
+def render_skiplist(count: int) -> str:
+    """Draw a skip-list chain with its bypass arcs (the paper's Fig 8).
+
+    ::
+
+        APU--0--1--2--3--4--5--6--7--8--...
+             \\________/\\____/
+    """
+    base = "APU"
+    columns = []  # column of each position's first digit
+    for position in range(count):
+        base += "--"
+        columns.append(len(base))
+        base += str(position)
+    lines = [base]
+    for lo, hi in plan_skip_links(count):
+        start, end = columns[lo], columns[hi]
+        row = [" "] * (end + 1)
+        row[start] = "\\"
+        for col in range(start + 1, end):
+            row[col] = "_"
+        row[end] = "/"
+        lines.append("".join(row).rstrip())
+    lines.append(
+        "(arcs are read-only skip links; writes ride the central chain)"
+    )
+    return "\n".join(lines)
+
+
+def render_distance_histogram(topo: Topology) -> str:
+    """Bar chart of cube count per hop distance."""
+    paths = bfs_paths(topo.adjacency(RouteClass.READ), HOST_ID)
+    counts: Dict[int, int] = {}
+    for cube in topo.cube_ids():
+        distance = len(paths[cube]) - 1
+        counts[distance] = counts.get(distance, 0) + 1
+    lines = [f"{topo.name}: cubes per hop distance"]
+    for distance in sorted(counts):
+        lines.append(f"  {distance:>2} hops | {'#' * counts[distance]}"
+                     f" ({counts[distance]})")
+    mean = sum(d * c for d, c in counts.items()) / max(len(topo.cube_ids()), 1)
+    lines.append(f"  mean distance: {mean:.2f} hops")
+    return "\n".join(lines)

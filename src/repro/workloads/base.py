@@ -1,0 +1,80 @@
+"""Workload abstractions.
+
+A workload is an iterator of :class:`Request` records; a
+:class:`WorkloadSpec` captures the parameters a synthetic proxy needs.
+The specs for the paper's eight GPGPU workloads live in
+:mod:`repro.workloads.suite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One memory request as seen by a host port."""
+
+    address: int  # port-local byte address
+    is_write: bool
+    gap_ps: int  # delay until the *next* request is generated
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload proxy.
+
+    ``mean_gap_ns`` is the per-port mean inter-arrival time **for the
+    baseline 8-port system**; the harness rescales it when the port
+    count changes so the system-level offered load stays fixed
+    (Section 6.1 halves ports and doubles per-port pressure).
+    """
+
+    name: str
+    read_fraction: float
+    mean_gap_ns: float
+    locality_lines: float  # mean sequential run length, in 64 B lines
+    rmw_fraction: float = 0.0  # reads immediately followed by a write
+    footprint_fraction: float = 0.90
+    line_bytes: int = 64
+    baseline_ports: int = 8
+    # Memory-level parallelism: how many requests the workload keeps in
+    # flight per port.  Latency-sensitive codes (NW's wavefront DP) have
+    # little MLP; streaming GPU kernels have a lot.  The effective window
+    # is min(mlp, host.max_outstanding_per_port).
+    mlp: int = 64
+    # GPU memory traffic arrives in coalesced wavefront bursts: groups
+    # of ``burst_size`` (mean, geometric) back-to-back requests separated
+    # by idle gaps sized to preserve the mean arrival rate.  Burstiness
+    # drives the per-hop queuing the paper's latency breakdowns show.
+    burst_size: float = 1.0
+    description: str = ""
+
+    def validate(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(f"{self.name}: read_fraction out of range")
+        if self.mean_gap_ns < 0:
+            raise WorkloadError(f"{self.name}: negative inter-arrival gap")
+        if self.locality_lines < 1.0:
+            raise WorkloadError(f"{self.name}: locality must be >= 1 line")
+        if not 0.0 <= self.rmw_fraction <= 1.0:
+            raise WorkloadError(f"{self.name}: rmw_fraction out of range")
+        if not 0.0 < self.footprint_fraction <= 1.0:
+            raise WorkloadError(f"{self.name}: footprint_fraction out of range")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise WorkloadError(f"{self.name}: line size must be a power of two")
+        if self.mlp < 1:
+            raise WorkloadError(f"{self.name}: mlp must be >= 1")
+        if self.burst_size < 1.0:
+            raise WorkloadError(f"{self.name}: burst_size must be >= 1")
+
+    def scaled_gap_ns(self, num_ports: int) -> float:
+        """Per-port gap preserving total system load at ``num_ports``."""
+        if num_ports <= 0:
+            raise WorkloadError("need at least one port")
+        return self.mean_gap_ns * num_ports / self.baseline_ports
+
+    def with_(self, **changes) -> "WorkloadSpec":
+        return replace(self, **changes)

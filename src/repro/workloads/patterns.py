@@ -1,0 +1,124 @@
+"""Additional access-pattern generators for custom studies.
+
+The paper's proxies (:mod:`repro.workloads.suite`) model GPU kernels;
+these generators cover other canonical shapes users may want to throw
+at an MN design:
+
+* :class:`StridedWorkload` — fixed-stride sweeps (column-major arrays,
+  FFT butterflies); exercises bank-conflict behaviour.
+* :class:`TiledWorkload` — blocked/tiled kernels: random tile, dense
+  accesses inside it; exercises row-buffer locality.
+* :class:`StreamWorkload` — pure sequential streaming (copy/scan);
+  the friendliest possible pattern.
+* :class:`UniformRandomWorkload` — no locality at all (hash tables,
+  pointer chasing); the adversarial pattern.
+
+All of them emit :class:`~repro.workloads.base.Request` records and can
+feed :class:`~repro.system.MemoryNetworkSystem` via ``workload_iter``
+or be captured into a :class:`~repro.workloads.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.sim.random import RandomStream
+from repro.workloads.base import Request
+
+
+class _PatternBase:
+    """Common plumbing: rate, mix, footprint, RNG."""
+
+    def __init__(
+        self,
+        footprint_bytes: int,
+        mean_gap_ps: float,
+        read_fraction: float,
+        seed: int,
+        line_bytes: int = 64,
+        name: str = "pattern",
+    ) -> None:
+        if footprint_bytes < line_bytes:
+            raise WorkloadError("footprint smaller than one line")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise WorkloadError("read_fraction out of range")
+        if mean_gap_ps < 0:
+            raise WorkloadError("negative gap")
+        self.lines = footprint_bytes // line_bytes
+        self.line_bytes = line_bytes
+        self.mean_gap_ps = mean_gap_ps
+        self.read_fraction = read_fraction
+        self.rng = RandomStream(seed, "pattern", name)
+
+    def __iter__(self) -> Iterator[Request]:
+        return self
+
+    def _emit(self, line: int) -> Request:
+        return Request(
+            address=(line % self.lines) * self.line_bytes,
+            is_write=self.rng.random() >= self.read_fraction,
+            gap_ps=int(self.rng.expovariate(self.mean_gap_ps)),
+        )
+
+
+class StridedWorkload(_PatternBase):
+    """Sweep the footprint with a fixed stride (in lines)."""
+
+    def __init__(self, stride_lines: int, *args, **kwargs) -> None:
+        super().__init__(*args, name=f"strided{stride_lines}", **kwargs)
+        if stride_lines < 1:
+            raise WorkloadError("stride must be >= 1 line")
+        self.stride = stride_lines
+        self._cursor = 0
+
+    def __next__(self) -> Request:
+        line = self._cursor
+        self._cursor = (self._cursor + self.stride) % self.lines
+        if self._cursor < self.stride and self.stride > 1:
+            self._cursor = (self._cursor + 1) % self.stride  # rotate phase
+        return self._emit(line)
+
+
+class TiledWorkload(_PatternBase):
+    """Random tile selection, dense sequential access within the tile."""
+
+    def __init__(self, tile_lines: int, *args, **kwargs) -> None:
+        super().__init__(*args, name=f"tiled{tile_lines}", **kwargs)
+        if tile_lines < 1:
+            raise WorkloadError("tile must be >= 1 line")
+        self.tile_lines = tile_lines
+        self._tile_base = 0
+        self._tile_pos = tile_lines  # force a new tile on first request
+
+    def __next__(self) -> Request:
+        if self._tile_pos >= self.tile_lines:
+            tiles = max(self.lines // self.tile_lines, 1)
+            self._tile_base = self.rng.randrange(tiles) * self.tile_lines
+            self._tile_pos = 0
+        line = self._tile_base + self._tile_pos
+        self._tile_pos += 1
+        return self._emit(line)
+
+
+class StreamWorkload(_PatternBase):
+    """Pure sequential stream over the footprint (wraps around)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, name="stream", **kwargs)
+        self._cursor = 0
+
+    def __next__(self) -> Request:
+        line = self._cursor
+        self._cursor = (self._cursor + 1) % self.lines
+        return self._emit(line)
+
+
+class UniformRandomWorkload(_PatternBase):
+    """Uniformly random lines: zero spatial locality."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, name="random", **kwargs)
+
+    def __next__(self) -> Request:
+        return self._emit(self.rng.randrange(self.lines))

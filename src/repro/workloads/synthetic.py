@@ -1,0 +1,96 @@
+"""Synthetic request-stream generator.
+
+Models the three properties the paper's results hinge on:
+
+* **read/write mix** — drawn per access from ``read_fraction``, with an
+  optional read-modify-write idiom (a read immediately followed by a
+  write to the same line) that exercises the coherence stall;
+* **spatial locality** — geometrically distributed sequential runs of
+  cache lines, which produce row-buffer hits inside cubes;
+* **intensity** — exponentially distributed inter-arrival gaps around
+  the spec's mean.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.random import RandomStream
+from repro.workloads.base import Request, WorkloadSpec
+
+
+class SyntheticWorkload:
+    """Iterator of :class:`Request` for one host port."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        port_capacity_bytes: int,
+        seed: int,
+        num_ports: Optional[int] = None,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        footprint_lines = int(
+            port_capacity_bytes * spec.footprint_fraction // spec.line_bytes
+        )
+        if footprint_lines < 1:
+            raise WorkloadError("footprint smaller than one line")
+        self.footprint_lines = footprint_lines
+        self.rng = RandomStream(seed, "workload", spec.name)
+        ports = num_ports if num_ports is not None else spec.baseline_ports
+        self.mean_gap_ps = spec.scaled_gap_ns(ports) * 1000.0
+        # run state
+        self._run_line = 0
+        self._run_remaining = 0
+        self._pending_write_line: Optional[int] = None
+        self._burst_remaining = 0
+        self.generated = 0
+
+    def __iter__(self) -> Iterator[Request]:
+        return self
+
+    def _gap(self) -> int:
+        """Delay until the next request.
+
+        Requests arrive in wavefront bursts: zero gap inside a burst,
+        and an exponential gap of ``burst * mean`` between bursts so the
+        long-run arrival rate matches the spec.
+        """
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            return 0
+        burst = self.spec.burst_size
+        if burst > 1.0:
+            self._burst_remaining = self.rng.geometric_run(burst) - 1
+        span = (self._burst_remaining + 1) * self.mean_gap_ps
+        return int(self.rng.expovariate(span))
+
+    def _next_line(self) -> int:
+        if self._run_remaining <= 0:
+            self._run_line = self.rng.randrange(self.footprint_lines)
+            self._run_remaining = self.rng.geometric_run(self.spec.locality_lines)
+        line = self._run_line
+        self._run_line = (self._run_line + 1) % self.footprint_lines
+        self._run_remaining -= 1
+        return line
+
+    def __next__(self) -> Request:
+        spec = self.spec
+        if self._pending_write_line is not None:
+            # second half of a read-modify-write
+            line = self._pending_write_line
+            self._pending_write_line = None
+            self.generated += 1
+            return Request(
+                address=line * spec.line_bytes, is_write=True, gap_ps=self._gap()
+            )
+        line = self._next_line()
+        is_write = self.rng.random() >= spec.read_fraction
+        if not is_write and spec.rmw_fraction and self.rng.random() < spec.rmw_fraction:
+            self._pending_write_line = line
+        self.generated += 1
+        return Request(
+            address=line * spec.line_bytes, is_write=is_write, gap_ps=self._gap()
+        )

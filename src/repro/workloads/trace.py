@@ -1,0 +1,107 @@
+"""Trace recording and replay.
+
+Traces make simulations exactly repeatable across configurations (the
+same address stream hits every topology) and let users bring their own
+workloads.  The on-disk format is a plain text file, one request per
+line: ``<hex address> <R|W> <gap_ps>``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Request
+
+
+class Trace:
+    """An in-memory list of requests with (de)serialization helpers."""
+
+    def __init__(self, requests: Iterable[Request] = ()) -> None:
+        self.requests: List[Request] = list(requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def append(self, request: Request) -> None:
+        self.requests.append(request)
+
+    # -- capture -----------------------------------------------------------
+    @classmethod
+    def capture(cls, workload: Iterator[Request], count: int) -> "Trace":
+        """Materialize ``count`` requests from any workload iterator."""
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        trace = cls()
+        for _ in range(count):
+            try:
+                trace.append(next(workload))
+            except StopIteration:
+                break
+        return trace
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        lines = [
+            f"{request.address:x} {'W' if request.is_write else 'R'} "
+            f"{request.gap_ps}"
+            for request in self.requests
+        ]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        trace = cls()
+        for line_number, line in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[1] not in ("R", "W"):
+                raise WorkloadError(f"{path}:{line_number}: malformed trace line")
+            try:
+                address = int(parts[0], 16)
+                gap = int(parts[2])
+            except ValueError:
+                raise WorkloadError(
+                    f"{path}:{line_number}: bad address or gap"
+                ) from None
+            if address < 0 or gap < 0:
+                raise WorkloadError(f"{path}:{line_number}: negative value")
+            trace.append(Request(address=address, is_write=parts[1] == "W", gap_ps=gap))
+        return trace
+
+    # -- statistics ---------------------------------------------------------------
+    def write_fraction(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.is_write for r in self.requests) / len(self.requests)
+
+
+class TraceWorkload:
+    """Iterator adapter replaying a :class:`Trace` (optionally looping)."""
+
+    def __init__(self, trace: Trace, loop: bool = True) -> None:
+        if not len(trace):
+            raise WorkloadError("cannot replay an empty trace")
+        self.trace = trace
+        self.loop = loop
+        self._index = 0
+
+    def __iter__(self) -> "TraceWorkload":
+        return self
+
+    def __next__(self) -> Request:
+        if self._index >= len(self.trace.requests):
+            if not self.loop:
+                raise StopIteration
+            self._index = 0
+        request = self.trace.requests[self._index]
+        self._index += 1
+        return request

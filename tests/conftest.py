@@ -1,0 +1,44 @@
+"""Shared fixtures: small, fast system configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HostConfig, SystemConfig
+from repro.units import GIB_BYTES
+from repro.workloads import WorkloadSpec
+
+
+def small_config(**overrides) -> SystemConfig:
+    """A fast 8-cube-per-port all-DRAM system (1 TiB total, 8 ports).
+
+    With the default 16 GiB DRAM / 64 GiB NVM cubes this supports the
+    mixes used in tests: 100% -> 8 DRAM, 50% -> 4 DRAM + 1 NVM,
+    0% -> 2 NVM cubes per port.
+    """
+    defaults = dict(total_capacity_bytes=1024 * GIB_BYTES)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def fast_workload(**overrides) -> WorkloadSpec:
+    defaults = dict(
+        name="TEST",
+        read_fraction=0.6,
+        mean_gap_ns=2.0,
+        locality_lines=4.0,
+        mlp=16,
+        burst_size=4.0,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return small_config()
+
+
+@pytest.fixture
+def workload() -> WorkloadSpec:
+    return fast_workload()

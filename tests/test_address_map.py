@@ -1,0 +1,152 @@
+"""Tests for capacity-weighted address interleaving."""
+
+import pytest
+
+from repro.config import ConfigError
+from repro.host.address_map import AddressMap, smooth_weighted_order
+from repro.units import GIB_BYTES
+
+
+def make_map(capacities, interleave=256, banks=256, quadrants=4, row_bytes=2048):
+    return AddressMap(
+        cube_capacities=capacities,
+        interleave_bytes=interleave,
+        row_bytes=row_bytes,
+        banks_per_stack=banks,
+        num_quadrants=quadrants,
+    )
+
+
+class TestSmoothWeightedOrder:
+    def test_equal_weights_round_robin(self):
+        assert smooth_weighted_order([1, 1, 1]) == [0, 1, 2]
+
+    def test_total_length_is_weight_sum(self):
+        assert len(smooth_weighted_order([1, 4, 2])) == 7
+
+    def test_each_item_appears_weight_times(self):
+        pattern = smooth_weighted_order([2, 5, 1])
+        assert pattern.count(0) == 2
+        assert pattern.count(1) == 5
+        assert pattern.count(2) == 1
+
+    def test_heavy_item_interleaved_not_clustered(self):
+        pattern = smooth_weighted_order([1, 1, 4])
+        # the heavy item should never occupy 3+ consecutive slots
+        runs = max(
+            len(list(run))
+            for run in _runs(pattern)
+        )
+        assert runs <= 2
+
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigError):
+            smooth_weighted_order([])
+        with pytest.raises(ConfigError):
+            smooth_weighted_order([1, 0])
+
+
+def _runs(pattern):
+    current = []
+    for item in pattern:
+        if current and current[-1] != item:
+            yield current
+            current = []
+        current.append(item)
+    yield current
+
+
+class TestUniformMap:
+    def test_total_bytes(self):
+        amap = make_map([GIB_BYTES] * 4)
+        assert amap.total_bytes == 4 * GIB_BYTES
+
+    def test_block_rotation(self):
+        amap = make_map([GIB_BYTES] * 4)
+        cubes = [amap.decode(block * 256).cube_index for block in range(8)]
+        assert cubes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_offset_within_block(self):
+        amap = make_map([GIB_BYTES] * 4)
+        loc = amap.decode(256 + 17)
+        assert loc.cube_index == 1
+        assert loc.offset == 17
+
+    def test_same_block_same_location(self):
+        amap = make_map([GIB_BYTES] * 4)
+        a = amap.decode(0x1000)
+        b = amap.decode(0x10ff & ~0xFF | 0x1000)
+        assert a.cube_index == amap.decode(0x10FF).cube_index
+
+    def test_out_of_range_rejected(self):
+        amap = make_map([GIB_BYTES])
+        with pytest.raises(ConfigError):
+            amap.decode(GIB_BYTES)
+        with pytest.raises(ConfigError):
+            amap.decode(-1)
+
+    def test_row_and_bank_fields_in_range(self):
+        amap = make_map([GIB_BYTES] * 2, banks=64, quadrants=4)
+        for address in range(0, 2 * GIB_BYTES, 977 * 4096):
+            loc = amap.decode(address)
+            assert 0 <= loc.quadrant < 4
+            assert 0 <= loc.bank < 16  # 64 banks / 4 quadrants
+            assert loc.row >= 0
+
+    def test_sequential_blocks_on_cube_share_row(self):
+        """Blocks that land on the same cube fill a row before moving on."""
+        amap = make_map([GIB_BYTES] * 4, row_bytes=2048)
+        # cube 0 receives blocks 0, 4, 8, ... -> local blocks 0, 1, 2 ...
+        locations = [amap.decode(block * 4 * 256) for block in range(8)]
+        assert all(l.cube_index == 0 for l in locations)
+        assert len({l.row for l in locations}) == 1
+        assert len({l.bank for l in locations + [amap.decode(8 * 4 * 256)]}) >= 1
+
+
+class TestWeightedMap:
+    def test_nvm_gets_4x_share(self):
+        # 4 DRAM (16 GiB) + 1 NVM (64 GiB)
+        amap = make_map([16 * GIB_BYTES] * 4 + [64 * GIB_BYTES])
+        assert amap.weights == [1, 1, 1, 1, 4]
+        assert amap.cube_share(4) == pytest.approx(0.5)
+        assert amap.cube_share(0) == pytest.approx(0.125)
+
+    def test_share_matches_decode_distribution(self):
+        amap = make_map([16 * GIB_BYTES, 64 * GIB_BYTES])
+        hits = [0, 0]
+        blocks = 5000
+        for block in range(blocks):
+            hits[amap.decode(block * 256).cube_index] += 1
+        assert hits[1] / blocks == pytest.approx(0.8, abs=0.01)
+
+    def test_local_block_sequence_is_dense(self):
+        """Every cube's local block counter advances without holes."""
+        amap = make_map([16 * GIB_BYTES, 64 * GIB_BYTES], banks=8, quadrants=4)
+        seen_rows = {}
+        # walk enough blocks to cover several pattern cycles
+        per_cube_blocks = {0: [], 1: []}
+        for block in range(40):
+            loc = amap.decode(block * 256)
+            blocks_per_row = 2048 // 256
+            local = (
+                loc.row * (8 * blocks_per_row)
+                + (loc.bank * 4 + loc.quadrant) * blocks_per_row
+            )
+            per_cube_blocks[loc.cube_index].append(local)
+        # the reconstructed local block indexes grow without gaps per row
+        for cube, locals_ in per_cube_blocks.items():
+            assert locals_ == sorted(locals_)
+
+
+class TestValidation:
+    def test_requires_cubes(self):
+        with pytest.raises(ConfigError):
+            make_map([])
+
+    def test_interleave_power_of_two(self):
+        with pytest.raises(ConfigError):
+            make_map([GIB_BYTES], interleave=300)
+
+    def test_row_multiple_of_interleave(self):
+        with pytest.raises(ConfigError):
+            make_map([GIB_BYTES], interleave=256, row_bytes=1000)

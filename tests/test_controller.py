@@ -1,0 +1,182 @@
+"""Tests for the quadrant memory controller."""
+
+import pytest
+
+from repro.arbitration import ArbiterContext, RoundRobinArbiter
+from repro.config import PacketConfig, dram_tech, nvm_tech
+from repro.host.address_map import Location
+from repro.memory.controller import QuadrantController
+from repro.memory.timing import TimingModel
+from repro.net.buffers import InputQueue
+from repro.net.packet import Packet, PacketKind, Transaction
+from repro.net.router import LOCAL, LocalOutput, Router
+from repro.sim.engine import Engine
+from repro.units import ns
+
+
+def make_request(bank=0, row=0, is_write=False, address=0):
+    txn = Transaction(address, is_write, port_id=0, issue_ps=0)
+    txn.location = Location(cube_index=0, quadrant=0, bank=bank, row=row, offset=0)
+    txn.dest_cube = 1
+    kind = PacketKind.WRITE_REQ if is_write else PacketKind.READ_REQ
+    packet = Packet(kind, address, 0, 1, 128, 0, transaction=txn)
+    packet.route = [0, 1]
+    packet.hop_index = 1
+    return packet
+
+
+class Harness:
+    def __init__(self, tech=None, num_banks=4, queue_depth=8, scheduling="fcfs",
+                 inject_capacity=8):
+        self.engine = Engine()
+        self.router = Router(1, "cube", lambda: RoundRobinArbiter(ArbiterContext()))
+        self.inject = InputQueue("inject", inject_capacity)
+        self.router.add_input(self.inject)
+        self.sunk = []
+        # a local output that immediately drains responses
+        self.router.add_output(
+            LOCAL, LocalOutput(lambda p: True, lambda e, p, i: self.sunk.append(p))
+        )
+        self.routed = []
+        self.controller = QuadrantController(
+            name="q0",
+            timing=TimingModel(tech or dram_tech()),
+            num_banks=num_banks,
+            queue_depth=queue_depth,
+            inject_queue=self.inject,
+            router=self.router,
+            route_response=self._route,
+            packet_config=PacketConfig(),
+            scheduling=scheduling,
+        )
+
+    def _route(self, response):
+        response.route = [1]  # terminate at this node (drains to sink)
+        response.hop_index = 0
+        self.routed.append(response)
+
+    def send(self, packet):
+        self.controller.reserve()
+        self.controller.receive(self.engine, packet)
+
+    def run(self):
+        self.engine.run()
+
+
+class TestBasicService:
+    def test_read_produces_response(self):
+        h = Harness()
+        h.send(make_request())
+        h.run()
+        assert len(h.sunk) == 1
+        assert h.sunk[0].kind == PacketKind.READ_RESP
+        assert h.controller.reads == 1
+
+    def test_write_produces_ack(self):
+        h = Harness()
+        h.send(make_request(is_write=True))
+        h.run()
+        assert h.sunk[0].kind == PacketKind.WRITE_ACK
+        assert h.controller.writes == 1
+
+    def test_timestamps_recorded(self):
+        h = Harness()
+        packet = make_request()
+        h.send(packet)
+        h.run()
+        txn = packet.transaction
+        assert txn.mem_depart_ps == dram_tech().trcd_ps + dram_tech().tcl_ps
+        assert txn.dest_tech == "DRAM"
+        assert txn.row_hit is False
+
+    def test_row_hit_faster_second_access(self):
+        h = Harness()
+        first, second = make_request(row=3), make_request(row=3)
+        h.send(first)
+        h.send(second)
+        h.run()
+        t1 = first.transaction.mem_depart_ps
+        t2 = second.transaction.mem_depart_ps
+        assert second.transaction.row_hit
+        assert t2 - t1 == dram_tech().tcl_ps
+
+    def test_bank_parallelism_with_frfcfs(self):
+        h = Harness(scheduling="frfcfs")
+        a, b = make_request(bank=0), make_request(bank=1)
+        h.send(a)
+        h.send(b)
+        h.run()
+        # both banks were accessed concurrently: same completion time
+        assert a.transaction.mem_depart_ps == b.transaction.mem_depart_ps
+
+
+class TestScheduling:
+    def test_fcfs_head_of_line_blocks(self):
+        nvm = nvm_tech()
+        h = Harness(tech=nvm, scheduling="fcfs")
+        write = make_request(bank=0, row=1, is_write=True)
+        blocked_miss = make_request(bank=0, row=2)
+        other_bank = make_request(bank=1, row=1)
+        h.send(write)
+        h.send(blocked_miss)
+        h.send(other_bank)
+        h.run()
+        # under strict FCFS the other-bank request waits behind the
+        # blocked miss (which waits out tWR)
+        assert other_bank.transaction.mem_depart_ps > ns(320)
+
+    def test_frfcfs_bypasses_blocked_head(self):
+        nvm = nvm_tech()
+        h = Harness(tech=nvm, scheduling="frfcfs")
+        write = make_request(bank=0, row=1, is_write=True)
+        blocked_miss = make_request(bank=0, row=2)
+        other_bank = make_request(bank=1, row=1)
+        h.send(write)
+        h.send(blocked_miss)
+        h.send(other_bank)
+        h.run()
+        assert other_bank.transaction.mem_depart_ps < ns(320)
+
+    def test_invalid_scheduling_rejected(self):
+        with pytest.raises(ValueError):
+            Harness(scheduling="random")
+
+
+class TestBackpressure:
+    def test_can_accept_tracks_queue_and_reservations(self):
+        h = Harness(queue_depth=2)
+        assert h.controller.can_accept()
+        h.controller.reserve()
+        h.controller.reserve()
+        assert not h.controller.can_accept()
+
+    def test_responses_wait_for_inject_space(self):
+        h = Harness(inject_capacity=1)
+        # block the inject queue by filling it manually
+        blocker = make_request()
+        blocker.route = [1, 99]  # needs an output that doesn't exist yet
+
+        # use a real second output so the blocker just sits there
+        h.inject.push(make_request())  # occupies the single slot
+        h.send(make_request(row=5))
+        h.engine.run(until=ns(1000))
+        assert h.controller.pending_responses == 1
+        # draining the queue lets the response through
+        h.inject.pop()
+        h.controller._inject_drained(h.engine)
+        h.engine.run()
+        assert h.controller.pending_responses == 0
+
+
+class TestRefresh:
+    def test_refresh_scheduled_for_dram(self):
+        h = Harness()
+        h.controller.start_refresh(h.engine)
+        h.engine.run(until=dram_tech().refresh_interval_ps * 2)
+        assert h.controller.refreshes > 0
+
+    def test_no_refresh_for_nvm(self):
+        h = Harness(tech=nvm_tech())
+        h.controller.start_refresh(h.engine)
+        h.engine.run(until=ns(100_000))
+        assert h.controller.refreshes == 0

@@ -1,0 +1,58 @@
+"""Tests for the DDR bus model (Table 1)."""
+
+import pytest
+
+from repro.ddr import DDR3, DDR4, DdrBusModel
+from repro.ddr.bus import table1_rows
+from repro.errors import ConfigError
+
+
+class TestTable1:
+    def test_exact_paper_values(self):
+        assert table1_rows() == [(1, 1333, 2133), (2, 1066, 2133), (3, 800, 1866)]
+
+    def test_ddr3_speed_drops_with_loading(self):
+        speeds = [DDR3.max_speed_mhz(dpc) for dpc in (1, 2, 3)]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_ddr4_flat_until_third_dimm(self):
+        assert DDR4.max_speed_mhz(1) == DDR4.max_speed_mhz(2)
+        assert DDR4.max_speed_mhz(3) < DDR4.max_speed_mhz(2)
+
+    def test_unsupported_dpc(self):
+        with pytest.raises(ConfigError):
+            DDR3.max_speed_mhz(4)
+        with pytest.raises(ConfigError):
+            DDR3.max_speed_mhz(0)
+
+
+class TestBusModel:
+    def test_bandwidth_formula(self):
+        model = DdrBusModel(DDR4)
+        # 2133 MHz x 2 transfers x 8 bytes = 34.1 GB/s
+        assert model.channel_bandwidth_gbs(1) == pytest.approx(34.1, abs=0.1)
+
+    def test_capacity_bandwidth_tradeoff(self):
+        model = DdrBusModel(DDR3)
+        frontier = model.frontier(channels=4)
+        capacities = [p["capacity_gib"] for p in frontier]
+        bandwidths = [p["bandwidth_gbs"] for p in frontier]
+        assert capacities == sorted(capacities)
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_pin_cost_fixed_per_channel(self):
+        model = DdrBusModel(DDR4)
+        assert model.system(4, 1)["pins"] == 4 * 288
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            DdrBusModel(DDR4, dimm_capacity_gib=0)
+        with pytest.raises(ConfigError):
+            DdrBusModel(DDR4).system(0, 1)
+
+    def test_mn_link_beats_ddr_per_pin(self):
+        """The Section 2.2 argument: HMC-style links win on GB/s/pin."""
+        ddr = DdrBusModel(DDR4).system(1, 1)
+        # one 16-lane 15 Gbps link pair at ~66 pins: 2x30 GB/s aggregate
+        mn_gbs_per_pin = (2 * 16 * 15 / 8) / 66
+        assert mn_gbs_per_pin > ddr["gbs_per_pin"]

@@ -1,0 +1,72 @@
+"""Tests for the error hierarchy and small leftover utilities."""
+
+import pytest
+
+from repro import errors, speedup_percent
+from repro.results import EnergyReport, SimResult, TransactionCollector
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for klass in (
+            errors.ConfigError,
+            errors.TopologyError,
+            errors.RoutingError,
+            errors.SimulationError,
+            errors.WorkloadError,
+        ):
+            assert issubclass(klass, errors.ReproError)
+            assert issubclass(klass, Exception)
+
+    def test_catchable_by_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TopologyError("boom")
+
+    def test_distinct_types(self):
+        with pytest.raises(errors.ConfigError):
+            raise errors.ConfigError("x")
+        assert not issubclass(errors.ConfigError, errors.TopologyError)
+
+
+def _result(runtime_ps):
+    return SimResult(
+        config_label="x",
+        workload="w",
+        runtime_ps=runtime_ps,
+        collector=TransactionCollector(),
+        energy=EnergyReport(),
+        mean_distance=1.0,
+        max_distance=1.0,
+    )
+
+
+class TestSpeedupPercent:
+    def test_positive(self):
+        assert speedup_percent(_result(100), _result(150)) == pytest.approx(50.0)
+
+    def test_negative(self):
+        assert speedup_percent(_result(200), _result(100)) == pytest.approx(-50.0)
+
+    def test_zero_runtime_guard(self):
+        assert _result(0).speedup_over(_result(100)) == 0.0
+
+
+class TestExperimentsCli:
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "table01" in out
+
+    def test_single_experiment_with_workload_subset(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table02"]) == 0
+        assert "tRCD" in capsys.readouterr().out
+
+    def test_fast_figure_run(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig08", "--requests", "10"]) == 0
+        assert "APU--0" in capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Smoke tests: every experiment runs end-to-end at reduced scale."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.experiments import ExperimentOutput, experiment_ids, get_experiment
+from repro.experiments.base import BASELINE_CONFIGS, PROPOSED_CONFIGS
+from repro.experiments.fig12 import combined_config
+from repro.units import TIB_BYTES
+from repro.workloads import get_workload
+
+FAST_WORKLOADS = [get_workload("KMEANS"), get_workload("BACKPROP")]
+SMALL_BASE = SystemConfig(total_capacity_bytes=TIB_BYTES)
+
+
+class TestRegistry:
+    def test_all_figures_and_tables_present(self):
+        ids = experiment_ids()
+        for required in (
+            "table01",
+            "table02",
+            "fig04",
+            "fig05",
+            "fig07",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+        ):
+            assert required in ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+
+class TestConfigSets:
+    def test_twelve_baseline_configs(self):
+        assert len(BASELINE_CONFIGS) == 12
+
+    def test_twelve_proposed_configs(self):
+        assert len(PROPOSED_CONFIGS) == 12
+
+    def test_combined_config_flags(self):
+        config = combined_config("50%-SL (NVM-L)", SystemConfig())
+        assert config.arbiter == "distance_enhanced"
+        assert config.write_skip_hysteresis
+        assert config.host.read_priority_injection
+
+    def test_combined_config_baseline_untouched(self):
+        config = combined_config("100%-C", SystemConfig())
+        assert config.arbiter == "round_robin"
+
+    def test_combined_config_tree_no_hysteresis(self):
+        config = combined_config("100%-T", SystemConfig())
+        assert config.arbiter == "distance_enhanced"
+        assert not config.write_skip_hysteresis
+
+
+class TestTables:
+    def test_table01(self):
+        output = get_experiment("table01")()
+        assert isinstance(output, ExperimentOutput)
+        assert "1333" in output.text and "2133" in output.text
+
+    def test_table02(self):
+        output = get_experiment("table02")()
+        assert "tRCD=12ns" in output.text
+        assert "2 TiB" in output.text
+
+
+@pytest.mark.parametrize("experiment_id", ["fig04", "fig05", "fig07"])
+def test_basic_figures_run(experiment_id):
+    run = get_experiment(experiment_id)
+    output = run(requests=150, workloads=FAST_WORKLOADS, base_config=SMALL_BASE)
+    assert output.experiment_id == experiment_id
+    assert "KMEANS" in output.text
+    assert output.data
+
+
+def test_fig10_reports_deltas():
+    output = get_experiment("fig10")(
+        requests=120, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+    )
+    assert set(output.data["delta"]["KMEANS"]) == set(BASELINE_CONFIGS)
+
+
+def test_fig11_and_fig12_report_proposed_configs():
+    for experiment_id in ("fig11", "fig12"):
+        output = get_experiment(experiment_id)(
+            requests=120, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+        )
+        assert set(output.data["speedups"]["KMEANS"]) == set(PROPOSED_CONFIGS)
+
+
+def test_fig13_port_sensitivity_runs():
+    output = get_experiment("fig13")(
+        requests=120, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+    )
+    assert "100%-C" in output.data["averages"]
+
+
+def test_fig14_capacity_sensitivity_runs():
+    output = get_experiment("fig14")(
+        requests=120, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+    )
+    assert "0%-C" in output.data["averages"]
+
+
+def test_fig15_energy_reports_components():
+    output = get_experiment("fig15")(
+        requests=120, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+    )
+    data = output.data["relative_energy"]
+    assert data["100%-C"]["total"] == pytest.approx(100.0, abs=0.5)
+    assert data["0%-C"]["network"] < data["100%-C"]["network"]
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["ablation_arbiters", "ablation_interleave", "ablation_serdes", "ablation_ratio"],
+)
+def test_ablations_run(experiment_id):
+    output = get_experiment(experiment_id)(
+        requests=100, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+    )
+    assert output.text
+
+
+class TestDiagrams:
+    def test_fig03_structural(self):
+        output = get_experiment("fig03")()
+        assert "mean distance" in output.text
+
+    def test_fig08_five_hop_skiplist(self):
+        output = get_experiment("fig08")()
+        assert "5 hops | # (1)" in output.text
+        assert output.text.count("\\") == 5
+
+    def test_fig09_metacube_interposer_links(self):
+        output = get_experiment("fig09")()
+        assert "~~" in output.text
+        assert "sw" in output.text
+
+
+@pytest.mark.parametrize("experiment_id", ["ablation_window", "ablation_buffers"])
+def test_new_ablations_run(experiment_id):
+    output = get_experiment(experiment_id)(
+        requests=80, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+    )
+    assert output.text and output.data
+
+
+def test_parking_lot_analysis_runs():
+    output = get_experiment("analysis_parking_lot")(
+        requests=150, workloads=FAST_WORKLOADS[:1], base_config=SMALL_BASE
+    )
+    waits = output.data["transit_wait_ns"]
+    assert set(waits) == {"round_robin", "distance"}
+    assert all(value >= 0 for value in waits.values())

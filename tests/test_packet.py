@@ -1,0 +1,132 @@
+"""Tests for packets and transactions."""
+
+import pytest
+
+from repro.config import PacketConfig
+from repro.net.packet import (
+    Packet,
+    PacketKind,
+    Transaction,
+    request_packet,
+    response_packet,
+)
+
+
+class TestPacketKind:
+    def test_request_response_partition(self):
+        for kind in PacketKind:
+            assert kind.is_request != kind.is_response
+
+    def test_data_packets(self):
+        assert PacketKind.WRITE_REQ.carries_data
+        assert PacketKind.READ_RESP.carries_data
+        assert not PacketKind.READ_REQ.carries_data
+        assert not PacketKind.WRITE_ACK.carries_data
+
+    def test_write_class(self):
+        assert PacketKind.WRITE_REQ.is_write_class
+        assert PacketKind.WRITE_ACK.is_write_class
+        assert not PacketKind.READ_REQ.is_write_class
+        assert not PacketKind.READ_RESP.is_write_class
+
+    def test_response_kinds(self):
+        assert PacketKind.READ_REQ.response_kind() == PacketKind.READ_RESP
+        assert PacketKind.WRITE_REQ.response_kind() == PacketKind.WRITE_ACK
+        with pytest.raises(ValueError):
+            PacketKind.READ_RESP.response_kind()
+
+
+class TestPacketRoute:
+    def make(self):
+        packet = Packet(PacketKind.READ_REQ, 0x100, 0, 3, 128, 0)
+        packet.route = [0, 1, 2, 3]
+        return packet
+
+    def test_route_walk(self):
+        packet = self.make()
+        assert packet.current_node == 0
+        assert packet.next_node == 1
+        assert not packet.at_destination
+        assert packet.hops_remaining == 3
+        packet.advance()
+        packet.advance()
+        packet.advance()
+        assert packet.at_destination
+        assert packet.hops_traversed == 3
+        assert packet.total_route_hops() == 3
+
+    def test_unique_ids(self):
+        a = Packet(PacketKind.READ_REQ, 0, 0, 1, 8, 0)
+        b = Packet(PacketKind.READ_REQ, 0, 0, 1, 8, 0)
+        assert a.pid != b.pid
+
+
+class TestTransactionLatencies:
+    def make_txn(self):
+        txn = Transaction(address=0x40, is_write=False, port_id=0, issue_ps=100)
+        txn.start_ps = 150
+        txn.mem_arrive_ps = 300
+        txn.mem_depart_ps = 360
+        txn.complete_ps = 500
+        return txn
+
+    def test_breakdown_uses_window_grant_clock(self):
+        txn = self.make_txn()
+        assert txn.to_memory_ps == 150  # 300 - 150
+        assert txn.in_memory_ps == 60
+        assert txn.from_memory_ps == 140
+        assert txn.total_ps == 350
+        assert txn.core_stall_ps == 50
+
+    def test_breakdown_falls_back_to_issue_time(self):
+        txn = Transaction(address=0, is_write=True, port_id=0, issue_ps=10)
+        txn.mem_arrive_ps = 30
+        txn.mem_depart_ps = 40
+        txn.complete_ps = 50
+        assert txn.to_memory_ps == 20
+        assert txn.core_stall_ps == 0
+
+    def test_components_sum_to_total(self):
+        txn = self.make_txn()
+        assert (
+            txn.to_memory_ps + txn.in_memory_ps + txn.from_memory_ps == txn.total_ps
+        )
+
+
+class TestPacketFactories:
+    def test_read_request_is_control_sized(self):
+        config = PacketConfig()
+        txn = Transaction(0x80, is_write=False, port_id=0, issue_ps=0)
+        txn.dest_cube = 5
+        packet = request_packet(config, txn, 0)
+        assert packet.kind == PacketKind.READ_REQ
+        assert packet.size_bits == config.control_bits
+
+    def test_write_request_is_data_sized(self):
+        config = PacketConfig()
+        txn = Transaction(0x80, is_write=True, port_id=0, issue_ps=0)
+        txn.dest_cube = 5
+        packet = request_packet(config, txn, 0)
+        assert packet.kind == PacketKind.WRITE_REQ
+        assert packet.size_bits == config.data_bits
+
+    def test_response_swaps_endpoints(self):
+        config = PacketConfig()
+        txn = Transaction(0x80, is_write=False, port_id=0, issue_ps=0)
+        txn.dest_cube = 5
+        request = request_packet(config, txn, 0)
+        request.src, request.dest = 0, 5
+        response = response_packet(config, request, 10)
+        assert response.kind == PacketKind.READ_RESP
+        assert response.src == 5 and response.dest == 0
+        assert response.size_bits == config.data_bits
+        assert response.transaction is txn
+
+    def test_write_ack_is_control_sized(self):
+        config = PacketConfig()
+        txn = Transaction(0x80, is_write=True, port_id=0, issue_ps=0)
+        txn.dest_cube = 2
+        request = request_packet(config, txn, 0)
+        response = response_packet(config, request, 10)
+        assert response.kind == PacketKind.WRITE_ACK
+        assert response.size_bits == config.control_bits

@@ -1,0 +1,133 @@
+"""Tests for the extra access-pattern generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import MemoryNetworkSystem
+from repro.units import GIB_BYTES
+from repro.workloads.patterns import (
+    StreamWorkload,
+    StridedWorkload,
+    TiledWorkload,
+    UniformRandomWorkload,
+)
+
+from conftest import fast_workload, small_config
+
+FOOTPRINT = GIB_BYTES
+
+
+def take(workload, n=1000):
+    return [next(workload) for _ in range(n)]
+
+
+class TestStream:
+    def test_sequential_addresses(self):
+        requests = take(StreamWorkload(FOOTPRINT, 1000.0, 0.5, seed=1), 100)
+        deltas = {
+            b.address - a.address for a, b in zip(requests, requests[1:])
+        }
+        assert deltas == {64}
+
+    def test_wraps_at_footprint(self):
+        workload = StreamWorkload(256, 1000.0, 0.5, seed=1)
+        requests = take(workload, 10)
+        assert max(r.address for r in requests) < 256
+
+    def test_read_fraction(self):
+        requests = take(StreamWorkload(FOOTPRINT, 1000.0, 0.8, seed=1), 20_000)
+        writes = sum(r.is_write for r in requests) / len(requests)
+        assert writes == pytest.approx(0.2, abs=0.02)
+
+
+class TestStrided:
+    def test_stride_respected(self):
+        workload = StridedWorkload(8, FOOTPRINT, 1000.0, 1.0, seed=1)
+        requests = take(workload, 50)
+        deltas = [b.address - a.address for a, b in zip(requests, requests[1:])]
+        assert all(d == 8 * 64 for d in deltas[:40] if d > 0)
+
+    def test_invalid_stride(self):
+        with pytest.raises(WorkloadError):
+            StridedWorkload(0, FOOTPRINT, 1000.0, 1.0, seed=1)
+
+
+class TestTiled:
+    def test_dense_within_tile(self):
+        workload = TiledWorkload(16, FOOTPRINT, 1000.0, 1.0, seed=1)
+        requests = take(workload, 16)
+        base = requests[0].address
+        assert [r.address - base for r in requests] == [i * 64 for i in range(16)]
+
+    def test_tiles_are_tile_aligned(self):
+        workload = TiledWorkload(16, FOOTPRINT, 1000.0, 1.0, seed=1)
+        requests = take(workload, 160)
+        firsts = requests[::16]
+        assert all(r.address % (16 * 64) == 0 for r in firsts)
+
+    def test_invalid_tile(self):
+        with pytest.raises(WorkloadError):
+            TiledWorkload(0, FOOTPRINT, 1000.0, 1.0, seed=1)
+
+
+class TestUniformRandom:
+    def test_addresses_spread(self):
+        workload = UniformRandomWorkload(FOOTPRINT, 1000.0, 1.0, seed=1)
+        requests = take(workload, 2000)
+        unique = {r.address for r in requests}
+        assert len(unique) > 1900  # collisions rare in a 1 GiB footprint
+
+    def test_bounds(self):
+        workload = UniformRandomWorkload(64 * 16, 1000.0, 1.0, seed=1)
+        for request in take(workload, 200):
+            assert 0 <= request.address < 64 * 16
+
+
+class TestValidation:
+    def test_footprint_too_small(self):
+        with pytest.raises(WorkloadError):
+            StreamWorkload(32, 1000.0, 0.5, seed=1)
+
+    def test_bad_read_fraction(self):
+        with pytest.raises(WorkloadError):
+            StreamWorkload(FOOTPRINT, 1000.0, 1.5, seed=1)
+
+    def test_negative_gap(self):
+        with pytest.raises(WorkloadError):
+            StreamWorkload(FOOTPRINT, -1.0, 0.5, seed=1)
+
+
+class TestPatternsThroughSimulator:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda size: StreamWorkload(size, 2000.0, 0.7, seed=3),
+            lambda size: StridedWorkload(16, size, 2000.0, 0.7, seed=3),
+            lambda size: TiledWorkload(32, size, 2000.0, 0.7, seed=3),
+            lambda size: UniformRandomWorkload(size, 2000.0, 0.7, seed=3),
+        ],
+    )
+    def test_patterns_drive_full_simulations(self, factory):
+        config = small_config()
+        probe = MemoryNetworkSystem(config, fast_workload(), requests=1)
+        workload_iter = factory(probe.address_map.total_bytes)
+        system = MemoryNetworkSystem(
+            config, fast_workload(), requests=150, workload_iter=workload_iter
+        )
+        result = system.run()
+        assert result.transactions == 150
+
+    def test_stream_has_best_row_hit_rate(self):
+        config = small_config()
+        probe = MemoryNetworkSystem(config, fast_workload(), requests=1)
+        size = probe.address_map.total_bytes
+
+        def run(workload_iter):
+            system = MemoryNetworkSystem(
+                config, fast_workload(), requests=400, workload_iter=workload_iter
+            )
+            return system.run().row_hit_rate
+
+        stream = run(StreamWorkload(size, 2000.0, 1.0, seed=3))
+        random_ = run(UniformRandomWorkload(size, 2000.0, 1.0, seed=3))
+        assert stream > random_

@@ -1,0 +1,84 @@
+"""Tests for NVM-L / NVM-F placement and the topology factory."""
+
+import pytest
+
+from repro.config import NVM_FIRST, NVM_LAST, SystemConfig
+from repro.errors import TopologyError
+from repro.topology import (
+    assign_technologies,
+    build_chain,
+    build_ring,
+    build_topology,
+    build_tree,
+)
+from repro.topology.placement import position_distances
+from repro.units import TIB_BYTES
+
+
+class TestAssignTechnologies:
+    def test_chain_nvm_last(self):
+        techs = assign_technologies(build_chain, num_dram=4, num_nvm=2, placement=NVM_LAST)
+        assert techs == ["DRAM"] * 4 + ["NVM"] * 2
+
+    def test_chain_nvm_first(self):
+        techs = assign_technologies(build_chain, 4, 2, NVM_FIRST)
+        assert techs == ["NVM"] * 2 + ["DRAM"] * 4
+
+    def test_ring_nvm_last_is_far_side(self):
+        techs = assign_technologies(build_ring, 4, 2, NVM_LAST)
+        topo = build_ring(techs)
+        d = position_distances(topo)
+        nvm_distances = [d[i] for i, t in enumerate(techs) if t == "NVM"]
+        dram_distances = [d[i] for i, t in enumerate(techs) if t == "DRAM"]
+        assert min(nvm_distances) >= max(dram_distances) - 1
+
+    def test_tree_nvm_last_is_deepest(self):
+        techs = assign_technologies(build_tree, 8, 2, NVM_LAST)
+        topo = build_tree(techs)
+        d = position_distances(topo)
+        nvm_depths = [d[i] for i, t in enumerate(techs) if t == "NVM"]
+        assert min(nvm_depths) == max(d)
+
+    def test_tree_nvm_first_is_shallowest(self):
+        techs = assign_technologies(build_tree, 8, 2, NVM_FIRST)
+        assert techs[0] == "NVM"  # the root position
+
+    def test_all_one_tech(self):
+        assert assign_technologies(build_chain, 3, 0, NVM_LAST) == ["DRAM"] * 3
+        assert assign_technologies(build_chain, 0, 3, NVM_LAST) == ["NVM"] * 3
+
+    def test_bad_placement(self):
+        with pytest.raises(TopologyError):
+            assign_technologies(build_chain, 2, 2, "weird")
+
+    def test_empty(self):
+        with pytest.raises(TopologyError):
+            assign_technologies(build_chain, 0, 0, NVM_LAST)
+
+
+class TestFactory:
+    def small(self, **kw):
+        return SystemConfig(total_capacity_bytes=TIB_BYTES, **kw)
+
+    @pytest.mark.parametrize(
+        "topology", ["chain", "ring", "tree", "skiplist", "metacube"]
+    )
+    def test_builds_every_topology(self, topology):
+        topo = build_topology(self.small(topology=topology))
+        assert len(topo.cube_ids()) == 8
+
+    def test_mixed_factory_counts(self):
+        topo = build_topology(self.small(topology="tree", dram_fraction=0.5))
+        techs = [topo.tech_of(c) for c in topo.cube_ids()]
+        assert techs.count("DRAM") == 4
+        assert techs.count("NVM") == 1
+
+    def test_all_nvm_factory(self):
+        topo = build_topology(self.small(topology="chain", dram_fraction=0.0))
+        assert len(topo.cube_ids()) == 2
+
+    def test_metacube_mixed(self):
+        config = SystemConfig(topology="metacube", dram_fraction=0.5)
+        topo = build_topology(config)
+        techs = [topo.tech_of(c) for c in topo.cube_ids()]
+        assert techs.count("DRAM") == 8 and techs.count("NVM") == 2

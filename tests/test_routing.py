@@ -1,0 +1,86 @@
+"""Tests for BFS paths and route tables."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.net.routing import RouteClass, RouteTable, bfs_paths
+
+
+class TestBfsPaths:
+    def test_line_graph(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1]}
+        paths = bfs_paths(adjacency, 0)
+        assert paths[2] == (0, 1, 2)
+
+    def test_tie_break_prefers_lower_ids(self):
+        # two equal-length routes to 3: via 1 or via 2
+        adjacency = {0: [1, 2], 1: [0, 3], 2: [0, 3], 3: [1, 2]}
+        paths = bfs_paths(adjacency, 0)
+        assert paths[3] == (0, 1, 3)
+
+    def test_unreachable_nodes_missing(self):
+        adjacency = {0: [1], 1: [0], 2: []}
+        paths = bfs_paths(adjacency, 0)
+        assert 2 not in paths
+
+    def test_source_path(self):
+        assert bfs_paths({0: []}, 0)[0] == (0,)
+
+
+def ring_adjacency(n):
+    """host 0 attached to cube 1; cubes 1..n in a loop."""
+    adjacency = {0: [1], 1: [0, 2, n]}
+    for cube in range(2, n + 1):
+        adjacency.setdefault(cube, [])
+        adjacency[cube] = sorted(
+            {cube - 1 if cube - 1 >= 1 else n, cube + 1 if cube + 1 <= n else 1}
+        )
+    adjacency[1] = sorted({0, 2, n})
+    return adjacency
+
+
+class TestRouteTable:
+    def make_table(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        return RouteTable(
+            {RouteClass.READ: adjacency, RouteClass.WRITE: adjacency},
+            host_id=0,
+            cube_ids=[1, 2, 3],
+        )
+
+    def test_routes_to_and_from(self):
+        table = self.make_table()
+        assert table.route_to_cube(3, RouteClass.READ) == (0, 1, 2, 3)
+        assert table.route_to_host(3, RouteClass.READ) == (3, 2, 1, 0)
+
+    def test_distances(self):
+        table = self.make_table()
+        assert table.distance(1) == 1
+        assert table.distance(3) == 3
+        assert table.max_distance() == 3
+        assert table.mean_distance() == pytest.approx(2.0)
+
+    def test_unknown_cube(self):
+        table = self.make_table()
+        with pytest.raises(RoutingError):
+            table.route_to_cube(9, RouteClass.READ)
+
+    def test_unreachable_cube_rejected_at_build(self):
+        adjacency = {0: [1], 1: [0], 2: []}
+        with pytest.raises(RoutingError):
+            RouteTable({RouteClass.READ: adjacency}, 0, [1, 2])
+
+    def test_class_fallback(self):
+        adjacency = {0: [1], 1: [0]}
+        table = RouteTable({RouteClass.READ: adjacency}, 0, [1])
+        # WRITE class not defined: falls back to READ routes
+        assert table.route_to_cube(1, RouteClass.WRITE) == (0, 1)
+
+    def test_differentiated_classes(self):
+        read_adj = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+        write_adj = {0: [1], 1: [0, 2], 2: [1]}  # no shortcut for writes
+        table = RouteTable(
+            {RouteClass.READ: read_adj, RouteClass.WRITE: write_adj}, 0, [1, 2]
+        )
+        assert table.route_to_cube(2, RouteClass.READ) == (0, 2)
+        assert table.route_to_cube(2, RouteClass.WRITE) == (0, 1, 2)

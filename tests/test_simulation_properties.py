@@ -1,0 +1,90 @@
+"""End-to-end property tests: the simulator's invariants must hold for
+arbitrary (small) configurations and workload parameters."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.system import MemoryNetworkSystem
+from repro.units import GIB_BYTES
+from repro.workloads import WorkloadSpec
+
+
+@st.composite
+def system_configs(draw):
+    topology = draw(
+        st.sampled_from(["chain", "ring", "tree", "skiplist", "metacube"])
+    )
+    fraction = draw(st.sampled_from([1.0, 0.5, 0.0]))
+    placement = draw(st.sampled_from(["last", "first"]))
+    arbiter = draw(
+        st.sampled_from(["round_robin", "distance", "distance_enhanced"])
+    )
+    return SystemConfig(
+        topology=topology,
+        total_capacity_bytes=1024 * GIB_BYTES,
+        dram_fraction=fraction,
+        nvm_placement=placement,
+        arbiter=arbiter,
+    )
+
+
+@st.composite
+def workload_specs(draw):
+    return WorkloadSpec(
+        name="PROP",
+        read_fraction=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        mean_gap_ns=draw(st.floats(min_value=0.5, max_value=20.0)),
+        locality_lines=draw(st.floats(min_value=1.0, max_value=32.0)),
+        rmw_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+        mlp=draw(st.integers(min_value=1, max_value=48)),
+        burst_size=draw(st.floats(min_value=1.0, max_value=32.0)),
+    )
+
+
+@given(system_configs(), workload_specs(), st.integers(min_value=1, max_value=60))
+@settings(max_examples=25, deadline=None)
+def test_simulation_invariants(config, spec, requests):
+    """For any config x workload: conservation + monotone timestamps."""
+    system = MemoryNetworkSystem(config, spec, requests=requests)
+    captured = []
+    original = system._transaction_done
+
+    def capture(engine, txn):
+        captured.append(txn)
+        original(engine, txn)
+
+    system.port.on_transaction_done = capture
+    result = system.run()
+
+    # conservation: every request completed exactly once
+    assert result.transactions == requests
+    assert len(captured) == requests
+    assert system.port.outstanding == 0
+
+    for txn in captured:
+        # timestamp monotonicity along the transaction's life
+        assert txn.issue_ps <= txn.start_ps
+        assert txn.start_ps < txn.inject_ps <= txn.mem_arrive_ps
+        assert txn.mem_arrive_ps <= txn.mem_depart_ps
+        assert txn.mem_depart_ps < txn.complete_ps
+        # every component of the breakdown is non-negative
+        assert txn.to_memory_ps >= 0
+        assert txn.in_memory_ps >= 0
+        assert txn.from_memory_ps >= 0
+        # hops: at least one each way, bounded by the network size
+        assert 1 <= txn.request_hops <= len(system.cubes) + len(
+            system.topology.switch_ids()
+        ) + 1
+        assert txn.response_hops >= 1
+
+    # memory accesses match transactions
+    accesses = sum(
+        cube.total_reads() + cube.total_writes() for cube in system.cubes.values()
+    )
+    assert accesses == requests
+
+    # energy is positive and composed of its parts
+    assert result.energy.total_pj > 0

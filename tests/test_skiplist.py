@@ -1,0 +1,89 @@
+"""Tests for the skip-list topology (Section 4.2 / Fig 8)."""
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.routing import RouteClass, RouteTable
+from repro.topology import build_skiplist
+from repro.topology.base import HOST_ID
+from repro.topology.placement import position_distances
+from repro.topology.skiplist import plan_skip_links
+
+
+class TestSkipPlanning:
+    def test_fig8_structure_for_16_cubes(self):
+        # the recursive bisection reproduces the Fig 8 skip set
+        assert plan_skip_links(16) == [(0, 8), (0, 4), (4, 6), (8, 12), (12, 14)]
+
+    def test_port_budget_respected(self):
+        for n in range(1, 64):
+            skips = plan_skip_links(n)
+            ports = {}
+            for position in range(n):
+                ports[position] = 1 + (1 if position < n - 1 else 0)
+            for a, b in skips:
+                ports[a] += 1
+                ports[b] += 1
+            assert max(ports.values()) <= 4, f"budget violated at n={n}"
+
+    def test_no_duplicate_skips(self):
+        for n in (8, 10, 16, 32):
+            skips = plan_skip_links(n)
+            assert len(skips) == len(set(skips))
+
+    def test_tiny_lists_have_no_skips(self):
+        assert plan_skip_links(1) == []
+        assert plan_skip_links(2) == []
+
+    def test_invalid_count(self):
+        with pytest.raises(TopologyError):
+            plan_skip_links(0)
+
+
+class TestSkiplistTopology:
+    def test_validates(self):
+        for n in (1, 4, 10, 16, 32):
+            build_skiplist(["DRAM"] * n).validate()
+
+    def test_farthest_cube_five_hops_at_16(self):
+        # the paper: "the farthest cube can be reached in only five hops"
+        topo = build_skiplist(["DRAM"] * 16)
+        assert position_distances(topo)[-1] == 5
+
+    def test_read_distance_near_logarithmic(self):
+        for n in (8, 16, 32):
+            topo = build_skiplist(["DRAM"] * n)
+            worst = max(position_distances(topo))
+            assert worst <= 2 * math.ceil(math.log2(n)) + 1
+
+    def test_write_class_restricted_to_chain(self):
+        topo = build_skiplist(["DRAM"] * 16)
+        table = RouteTable(topo.adjacency_by_class(), HOST_ID, topo.cube_ids())
+        last = topo.cube_ids()[-1]
+        write_route = table.route_to_cube(last, RouteClass.WRITE)
+        assert len(write_route) - 1 == 16  # full chain for writes
+        read_route = table.route_to_cube(last, RouteClass.READ)
+        assert len(read_route) - 1 == 5
+
+    def test_skip_edges_are_read_only(self):
+        topo = build_skiplist(["DRAM"] * 16)
+        skip_edges = [e for e in topo.edges if not e.is_chain]
+        assert skip_edges, "expected skip links"
+        for edge in skip_edges:
+            assert RouteClass.WRITE not in edge.classes
+            assert RouteClass.READ in edge.classes
+
+    def test_chain_edges_carry_both_classes(self):
+        topo = build_skiplist(["DRAM"] * 16)
+        for edge in topo.edges:
+            if edge.is_chain:
+                assert RouteClass.WRITE in edge.classes
+
+    def test_reads_strictly_faster_than_chain_on_average(self):
+        n = 16
+        topo = build_skiplist(["DRAM"] * n)
+        read_distances = position_distances(topo)
+        chain_distances = list(range(1, n + 1))
+        assert sum(read_distances) < sum(chain_distances)

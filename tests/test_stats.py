@@ -1,0 +1,128 @@
+"""Tests for statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Histogram, RunningStat, StatsRegistry
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+        assert stat.min is None and stat.max is None
+
+    def test_single_value(self):
+        stat = RunningStat()
+        stat.add(5.0)
+        assert stat.count == 1
+        assert stat.mean == 5.0
+        assert stat.variance == 0.0
+        assert stat.min == 5.0 and stat.max == 5.0
+
+    def test_mean_and_variance(self):
+        stat = RunningStat()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            stat.add(value)
+        assert stat.mean == pytest.approx(5.0)
+        expected_var = sum((v - 5.0) ** 2 for v in values) / (len(values) - 1)
+        assert stat.variance == pytest.approx(expected_var)
+        assert stat.stddev == pytest.approx(math.sqrt(expected_var))
+
+    def test_min_max_total(self):
+        stat = RunningStat()
+        for value in (3.0, -1.0, 10.0):
+            stat.add(value)
+        assert stat.min == -1.0
+        assert stat.max == 10.0
+        assert stat.total == 12.0
+
+    def test_merge_matches_sequential(self):
+        a, b, c = RunningStat(), RunningStat(), RunningStat()
+        for v in (1.0, 2.0, 3.0):
+            a.add(v)
+            c.add(v)
+        for v in (10.0, 20.0):
+            b.add(v)
+            c.add(v)
+        a.merge(b)
+        assert a.count == c.count
+        assert a.mean == pytest.approx(c.mean)
+        assert a.variance == pytest.approx(c.variance)
+        assert a.min == c.min and a.max == c.max
+
+    def test_merge_into_empty(self):
+        a, b = RunningStat(), RunningStat()
+        b.add(4.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 4.0
+
+    def test_merge_empty_is_noop(self):
+        a, b = RunningStat(), RunningStat()
+        a.add(4.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 4.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram(bucket_width=10, num_buckets=4)
+        for value in (0, 5, 15, 35):
+            hist.add(value)
+        assert hist.buckets == [2, 1, 0, 1]
+        assert hist.overflow == 0
+
+    def test_overflow(self):
+        hist = Histogram(bucket_width=1, num_buckets=2)
+        hist.add(100)
+        assert hist.overflow == 1
+
+    def test_percentile(self):
+        hist = Histogram(bucket_width=10, num_buckets=10)
+        for value in range(100):
+            hist.add(value)
+        assert hist.percentile(0.5) == pytest.approx(45.0, abs=10)
+        assert hist.percentile(1.0) == pytest.approx(95.0, abs=10)
+
+    def test_percentile_empty(self):
+        hist = Histogram(bucket_width=10)
+        assert hist.percentile(0.5) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=0)
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=1, num_buckets=0)
+        hist = Histogram(bucket_width=1)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+
+
+class TestStatsRegistry:
+    def test_counters(self):
+        reg = StatsRegistry()
+        reg.count("hits")
+        reg.count("hits", 2)
+        assert reg.counter("hits") == 3
+        assert reg.counter("absent") == 0
+
+    def test_records(self):
+        reg = StatsRegistry()
+        reg.record("lat", 10.0)
+        reg.record("lat", 20.0)
+        assert reg.mean("lat") == pytest.approx(15.0)
+        assert reg.mean("absent") == 0.0
+
+    def test_names_and_dict(self):
+        reg = StatsRegistry()
+        reg.count("a")
+        reg.record("b", 1.0)
+        assert reg.names() == ["a", "b"]
+        flat = reg.as_dict()
+        assert flat["a"] == 1
+        assert flat["b.mean"] == 1.0
+        assert flat["b.count"] == 1

@@ -1,0 +1,96 @@
+"""Tests for trace capture, persistence, and replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import GIB_BYTES
+from repro.workloads import Request, SyntheticWorkload, Trace, TraceWorkload
+
+from conftest import fast_workload
+
+
+def sample_trace(n=10):
+    return Trace(
+        Request(address=i * 64, is_write=i % 3 == 0, gap_ps=i * 10)
+        for i in range(n)
+    )
+
+
+class TestTrace:
+    def test_capture_from_generator(self):
+        workload = SyntheticWorkload(fast_workload(), GIB_BYTES, seed=3)
+        trace = Trace.capture(workload, 50)
+        assert len(trace) == 50
+
+    def test_capture_stops_at_exhaustion(self):
+        trace = Trace.capture(iter(sample_trace(5)), 100)
+        assert len(trace) == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace.capture(iter([]), -1)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded) == list(trace)
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n\n40 R 100\n")
+        trace = Trace.load(path)
+        assert len(trace) == 1
+        assert trace.requests[0] == Request(0x40, False, 100)
+
+    @pytest.mark.parametrize(
+        "line",
+        ["garbage", "40 X 100", "zz R 100", "40 R -5", "40 R"],
+    )
+    def test_load_rejects_malformed(self, tmp_path, line):
+        path = tmp_path / "trace.txt"
+        path.write_text(line + "\n")
+        with pytest.raises(WorkloadError):
+            Trace.load(path)
+
+    def test_write_fraction(self):
+        trace = Trace([Request(0, True, 0), Request(64, False, 0)])
+        assert trace.write_fraction() == 0.5
+        assert Trace().write_fraction() == 0.0
+
+
+class TestTraceWorkload:
+    def test_replay_order(self):
+        trace = sample_trace(4)
+        replay = TraceWorkload(trace, loop=False)
+        assert [next(replay) for _ in range(4)] == trace.requests
+        with pytest.raises(StopIteration):
+            next(replay)
+
+    def test_looping_replay(self):
+        trace = sample_trace(3)
+        replay = TraceWorkload(trace, loop=True)
+        out = [next(replay) for _ in range(7)]
+        assert out[:3] == out[3:6]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload(Trace())
+
+    def test_replay_through_simulation(self):
+        from repro.system import MemoryNetworkSystem
+        from conftest import small_config
+
+        workload = SyntheticWorkload(
+            fast_workload(), 64 * GIB_BYTES, seed=9
+        )
+        trace = Trace.capture(workload, 100)
+        system = MemoryNetworkSystem(
+            small_config(),
+            fast_workload(),
+            requests=100,
+            workload_iter=TraceWorkload(trace),
+        )
+        result = system.run()
+        assert result.transactions == 100

@@ -1,0 +1,40 @@
+"""Tests for the built-in self-check module."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.validate import CheckResult, all_passed, run_self_check
+
+from conftest import small_config
+
+
+class TestSelfCheck:
+    @pytest.mark.parametrize(
+        "topology", ["chain", "ring", "tree", "skiplist", "metacube"]
+    )
+    def test_all_checks_pass_on_every_topology(self, topology):
+        results = run_self_check(small_config(topology=topology))
+        assert all_passed(results), [str(r) for r in results if not r.passed]
+
+    def test_mixed_nvm_config_passes(self):
+        results = run_self_check(small_config(dram_fraction=0.5))
+        assert all_passed(results)
+
+    def test_check_names_unique(self):
+        results = run_self_check(small_config())
+        names = [result.name for result in results]
+        assert len(names) == len(set(names))
+        assert "single_read_latency" in names
+
+    def test_result_string_format(self):
+        result = CheckResult("demo", True, "ok")
+        assert str(result) == "[PASS] demo: ok"
+        assert "[FAIL]" in str(CheckResult("demo", False, "bad"))
+
+
+class TestSelfCheckCli:
+    def test_cli_exit_zero_on_pass(self, capsys):
+        # use the default (full-size) chain — still fast enough
+        assert cli_main(["selfcheck", "--topology", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate Fig 13 (equal-total-work design) and splice it into the
+saved full experiment output."""
+
+import re
+import sys
+import time
+
+from repro.experiments.fig13 import run
+
+OUTPUT = "/root/repo/experiments_full_output.txt"
+
+
+def main() -> None:
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    started = time.time()
+    output = run(requests=requests)
+    body = output.text + f"\n\nNote: {output.notes}\n" + (
+        f"[fig13 completed in {time.time() - started:.1f}s "
+        f"(regenerated at --requests {requests}, equal-total-work design)]\n"
+    )
+    text = open(OUTPUT, errors="replace").read()
+    pattern = re.compile(
+        r"Fig 13:.*?\[fig13 completed in [^\]]*\]\n", re.DOTALL
+    )
+    if pattern.search(text):
+        text = pattern.sub(body, text, count=1)
+    else:
+        text += "\n" + body
+    open(OUTPUT, "w").write(text)
+    print(output.text)
+
+
+if __name__ == "__main__":
+    main()
