@@ -2,20 +2,23 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import render_table
 from repro.config import SystemConfig, parse_label
 from repro.results import SimResult
-from repro.system import simulate
+from repro.runner import SimJob, get_runner
 from repro.workloads import WorkloadSpec
 
 
 class SpeedupGrid:
     """Run a set of MN configurations over a workload suite.
 
-    Results are cached by (config label, workload, arbiter) so a
-    baseline shared by several figures is only simulated once.
+    All simulations go through the ambient runner, whose
+    content-addressed cache means a baseline shared by several figures
+    (or several grids) is only simulated once per cache lifetime.
+    :meth:`prefetch` dispatches a whole label set as one batch so the
+    runner can execute the grid's points in parallel.
     """
 
     def __init__(
@@ -31,22 +34,38 @@ class SpeedupGrid:
         self.config_fn = config_fn or (
             lambda label: parse_label(label, self.base_config)
         )
-        self._cache: Dict[Tuple, SimResult] = {}
 
     # ------------------------------------------------------------------
+    def _job(self, label: str, workload: WorkloadSpec) -> SimJob:
+        return SimJob(
+            config=self.config_fn(label),
+            workload=workload,
+            requests=self.requests,
+        )
+
     def result(self, label: str, workload: WorkloadSpec) -> SimResult:
-        config = self.config_fn(label)
-        key = (label, workload.name, config.arbiter, config.seed, self.requests)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = simulate(config, workload, requests=self.requests)
-            self._cache[key] = cached
-        return cached
+        return get_runner().run_one(self._job(label, workload))
+
+    def prefetch(self, labels: Sequence[str]) -> None:
+        """Simulate every (label, workload) point as one parallel batch.
+
+        Subsequent :meth:`result` calls are then cache hits.  Callers
+        that loop over :meth:`result` directly should prefetch first;
+        :meth:`speedups` does it automatically.
+        """
+        get_runner().run(
+            [
+                self._job(label, workload)
+                for workload in self.workloads
+                for label in labels
+            ]
+        )
 
     def speedups(
         self, labels: Sequence[str], baseline_label: str
     ) -> Dict[str, Dict[str, float]]:
         """Per-workload percent speedup of each label over the baseline."""
+        self.prefetch(list(labels) + [baseline_label])
         grid: Dict[str, Dict[str, float]] = {}
         for workload in self.workloads:
             base = self.result(baseline_label, workload)

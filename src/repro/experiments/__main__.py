@@ -8,6 +8,7 @@ import time
 from typing import List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment
+from repro.runner import configure_runner, default_jobs
 from repro.workloads import PAPER_SUITE, get_workload
 
 
@@ -31,6 +32,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="",
         help="comma-separated subset of workloads (default: all eight)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the disk result cache (in-memory memoization stays on)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -42,17 +60,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.workloads:
         workloads = [get_workload(name) for name in args.workloads.split(",")]
 
+    runner = configure_runner(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        cache_dir=args.cache_dir,
+        persistent=not args.no_cache,
+    )
+
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
         run = get_experiment(experiment_id)
         started = time.time()
+        simulated_before = runner.simulations_run
         output = run(requests=args.requests, workloads=workloads)
         elapsed = time.time() - started
+        simulated = runner.simulations_run - simulated_before
         print(output.text)
         if output.notes:
             print()
             print(f"Note: {output.notes}")
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print(
+            f"[{experiment_id} completed in {elapsed:.1f}s — "
+            f"{simulated} simulations run, jobs={runner.jobs}, "
+            f"{runner.cache.describe()}]"
+        )
         print()
     return 0
 

@@ -40,6 +40,13 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base, config_fn=config_fn
     )
+    grid.prefetch(
+        [
+            f"{topo_label}|{arbiter}"
+            for topo_label in TOPOLOGY_LABELS
+            for arbiter in ("round_robin",) + tuple(VALID_ARBITERS)
+        ]
+    )
     data: Dict[str, Dict[str, float]] = {}
     rows = []
     for topo_label in TOPOLOGY_LABELS:

@@ -43,6 +43,10 @@ def run(
     grid = SpeedupGrid(
         [workload], requests=requests, base_config=base, config_fn=config_fn
     )
+    grid.prefetch(
+        [f"{topo}|{depth}" for topo in ("100%-C", "100%-T") for depth in DEPTHS]
+        + ["100%-C|8", "100%-T|8"]
+    )
     data: Dict[str, Dict[int, float]] = {}
     rows = []
     for topo in ("100%-C", "100%-T"):

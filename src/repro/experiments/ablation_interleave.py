@@ -42,6 +42,9 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base, config_fn=config_fn
     )
+    grid.prefetch(
+        ["100%-T|256"] + [f"100%-T|{grain}" for grain in GRANULARITIES]
+    )
     rows = []
     data: Dict[str, Dict[int, Dict[str, float]]] = {}
     for workload in grid.workloads:

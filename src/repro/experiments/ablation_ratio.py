@@ -49,6 +49,7 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base, config_fn=config_fn
     )
+    grid.prefetch(["baseline"] + [str(fraction) for fraction in fractions])
     rows = []
     data: Dict[str, Dict[float, float]] = {}
     for workload in grid.workloads:

@@ -43,6 +43,9 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base, config_fn=config_fn
     )
+    grid.prefetch(
+        [f"{topo}|{serdes}" for topo in TOPOLOGIES for serdes in SERDES_NS]
+    )
     rows = []
     data: Dict[str, Dict[float, float]] = {}
     for topo in TOPOLOGIES:

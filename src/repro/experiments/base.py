@@ -83,9 +83,8 @@ class ExperimentOutput:
             if not series:
                 writer.writerow(["experiment", self.experiment_id])
                 return
-            columns = sorted(
-                {str(col) for row in series.values() for col in row}
-            )
+            labels = {str(col) for row in series.values() for col in row}
+            columns = _sorted_columns(labels)
             writer.writerow([self.experiment_id] + columns)
             for row_name, row in series.items():
                 writer.writerow(
@@ -95,6 +94,19 @@ class ExperimentOutput:
                         for col in columns
                     ]
                 )
+
+
+def _sorted_columns(labels):
+    """Column order for CSV export.
+
+    Ablation sweeps label columns with numbers (window sizes 2, 10,
+    16, ...); sorting those as strings interleaves magnitudes, so sort
+    numerically whenever every label parses as a number.
+    """
+    try:
+        return sorted(labels, key=float)
+    except ValueError:
+        return sorted(labels)
 
 
 def _maybe_num(text: str):

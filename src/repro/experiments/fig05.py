@@ -33,6 +33,7 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base_system(base_config)
     )
+    grid.prefetch(LABELS)
     rows: List[List[object]] = []
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
     for workload in grid.workloads:

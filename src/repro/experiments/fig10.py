@@ -44,6 +44,9 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base, config_fn=config_fn
     )
+    grid.prefetch(
+        BASELINE_CONFIGS + [label + "+DA" for label in BASELINE_CONFIGS]
+    )
     data: Dict[str, Dict[str, float]] = {}
     rows = []
     for workload in grid.workloads:

@@ -24,7 +24,7 @@ from repro.experiments.base import (
     base_system,
     suite,
 )
-from repro.system import simulate
+from repro.runner import SimJob, get_runner
 from repro.workloads import WorkloadSpec
 
 LABELS = ["100%-C", "100%-R"] + PROPOSED_CONFIGS
@@ -36,21 +36,29 @@ def run(
     base_config: Optional[SystemConfig] = None,
 ) -> ExperimentOutput:
     base = base_system(base_config)
-    data: Dict[str, Dict[str, float]] = {}
-    rows = []
-    for workload in suite(workloads):
-        row = [workload.name]
-        data[workload.name] = {}
+    specs = suite(workloads)
+    # One batch of (8-port, 4-port) pairs so the runner can parallelize
+    # and memoize across figures.  Half the ports -> each must retire
+    # twice the requests for the same total system work (the per-port
+    # rate scales inside the workload generator).
+    batch = []
+    for workload in specs:
         for label in LABELS:
             eight_config = parse_label(label, base)
             four_config = eight_config.with_(
                 host=replace(eight_config.host, num_ports=4)
             )
-            eight = simulate(eight_config, workload, requests=requests)
-            # half the ports -> each must retire twice the requests for
-            # the same total system work (per-port rate scales inside
-            # the workload generator)
-            four = simulate(four_config, workload, requests=2 * requests)
+            batch.append(SimJob(eight_config, workload, requests))
+            batch.append(SimJob(four_config, workload, 2 * requests))
+    results = iter(get_runner().run(batch))
+    data: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for workload in specs:
+        row = [workload.name]
+        data[workload.name] = {}
+        for label in LABELS:
+            eight = next(results)
+            four = next(results)
             delta = (eight.runtime_ps * 2 / four.runtime_ps - 1.0) * 100.0
             # note: the 8-port system would take eight.runtime_ps to
             # serve `requests` per port; serving 2x requests at the same

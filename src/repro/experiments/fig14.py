@@ -52,6 +52,7 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base, config_fn=config_fn
     )
+    grid.prefetch(LABELS + [label + "@1TB" for label in LABELS])
     averages: Dict[str, float] = {}
     for label in LABELS:
         deltas = []

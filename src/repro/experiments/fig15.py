@@ -49,6 +49,7 @@ def run(
     grid = SpeedupGrid(
         suite(workloads), requests=requests, base_config=base_system(base_config)
     )
+    grid.prefetch(LABELS)
     totals: Dict[str, Dict[str, float]] = {
         label: {"network": 0.0, "read": 0.0, "write": 0.0} for label in LABELS
     }

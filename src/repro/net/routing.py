@@ -44,6 +44,41 @@ def bfs_paths(
     return paths
 
 
+# ---------------------------------------------------------------------------
+# BFS memoization: sweeps rebuild the same few topologies hundreds of
+# times, and the adjacency -> path-tree computation is pure, so route
+# trees are shared process-wide keyed by (canonical adjacency, source).
+# ---------------------------------------------------------------------------
+_AdjacencyKey = Tuple[Tuple[int, Tuple[int, ...]], ...]
+_BFS_CACHE: Dict[Tuple[_AdjacencyKey, int], Dict[int, Path]] = {}
+_BFS_CACHE_MAX = 512  # plenty for every topology x class a sweep can build
+
+
+def _adjacency_key(adjacency: Mapping[int, Sequence[int]]) -> _AdjacencyKey:
+    return tuple(
+        (node, tuple(sorted(adjacency[node]))) for node in sorted(adjacency)
+    )
+
+
+def cached_bfs_paths(
+    adjacency: Mapping[int, Sequence[int]], source: int
+) -> Dict[int, Path]:
+    """Memoized :func:`bfs_paths`; callers must not mutate the result."""
+    key = (_adjacency_key(adjacency), source)
+    paths = _BFS_CACHE.get(key)
+    if paths is None:
+        if len(_BFS_CACHE) >= _BFS_CACHE_MAX:
+            _BFS_CACHE.clear()
+        paths = bfs_paths(adjacency, source)
+        _BFS_CACHE[key] = paths
+    return paths
+
+
+def clear_route_cache() -> None:
+    """Drop all memoized BFS trees (tests, memory pressure)."""
+    _BFS_CACHE.clear()
+
+
 class RouteTable:
     """Precomputed host<->cube paths for each traffic class."""
 
@@ -58,7 +93,7 @@ class RouteTable:
         self._to_cube: Dict[RouteClass, Dict[int, Path]] = {}
         self._to_host: Dict[RouteClass, Dict[int, Path]] = {}
         for cls, adjacency in adjacency_by_class.items():
-            forward = bfs_paths(adjacency, host_id)
+            forward = cached_bfs_paths(adjacency, host_id)
             missing = [c for c in self.cube_ids if c not in forward]
             if missing:
                 raise RoutingError(

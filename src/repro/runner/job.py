@@ -1,0 +1,92 @@
+"""Simulation jobs: a hashable unit of work for the runner.
+
+A :class:`SimJob` freezes everything a simulation's outcome depends on —
+the full :class:`SystemConfig` tree (which includes the seed), the
+:class:`WorkloadSpec`, and the request count — and derives a stable
+content digest from it.  Identical jobs hash identically regardless of
+how their configs were constructed, so the digest doubles as the
+memoization key of :class:`repro.runner.cache.ResultCache` and as the
+deduplication key inside a batch.
+
+Jobs are plain frozen dataclasses and therefore picklable, which is what
+lets :class:`repro.runner.pool.ParallelRunner` ship them to worker
+processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict
+
+from repro.config import SystemConfig
+from repro.workloads import WorkloadSpec
+
+#: Salt folded into every job digest.  Bump when the simulator's
+#: behaviour changes in a way that invalidates previously cached results
+#: (the config/workload schema itself is already part of the digest).
+JOB_DIGEST_VERSION = "repro-job-v1"
+
+
+def canonical_tree(value: Any) -> Any:
+    """Reduce a dataclass tree to canonical JSON-able primitives.
+
+    Field order comes from the dataclass definition and dict keys are
+    sorted, so two structurally equal values always canonicalize to the
+    same tree no matter how (or in what order) they were built.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        tree: Dict[str, Any] = {"__class__": type(value).__name__}
+        for f in fields(value):
+            tree[f.name] = canonical_tree(getattr(value, f.name))
+        return tree
+    if isinstance(value, dict):
+        return {
+            str(key): canonical_tree(val)
+            for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_tree(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def digest_tree(tree: Any) -> str:
+    """SHA-256 of a canonical tree's compact JSON encoding."""
+    payload = json.dumps(tree, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to run: frozen config + workload + request count.
+
+    The per-run seed lives inside ``config.seed`` and the workload
+    stream derives from it via :func:`repro.sim.derive_seed`, so the job
+    is fully self-describing: equal digests imply bit-identical results.
+    """
+
+    config: SystemConfig
+    workload: WorkloadSpec
+    requests: int = 2000
+
+    def digest(self) -> str:
+        """Stable content digest over the whole job tree."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest_tree(
+                {
+                    "version": JOB_DIGEST_VERSION,
+                    "config": canonical_tree(self.config),
+                    "workload": canonical_tree(self.workload),
+                    "requests": self.requests,
+                }
+            )
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def label(self) -> str:
+        """Human-readable tag for logs and progress output."""
+        return f"{self.config.label()}/{self.workload.name}/r{self.requests}"

@@ -1,0 +1,157 @@
+"""Batch execution of simulation jobs with optional process parallelism.
+
+:class:`ParallelRunner` takes a batch of :class:`SimJob`\\ s and
+
+1. deduplicates identical jobs (same content digest),
+2. satisfies what it can from its :class:`ResultCache`,
+3. executes the remainder — serially when ``jobs <= 1`` (deterministic,
+   spawn-safe, no pool overhead) or over a
+   :class:`concurrent.futures.ProcessPoolExecutor` otherwise,
+
+and returns results in input order.  Per-job seeds derive from the
+config's root seed (see :func:`repro.sim.derive_seed`), so serial and
+parallel execution produce bit-identical results; the determinism tests
+assert this via :func:`repro.serialization.result_digest`.
+
+A module-level *ambient* runner lets high-level entry points
+(:func:`repro.system.simulate`, :class:`repro.sweep.Sweep`,
+:class:`repro.analysis.speedup.SpeedupGrid`) share one cache and one
+worker-count policy without threading a runner argument everywhere.
+The experiments CLI configures it from ``--jobs`` / ``--cache-dir`` /
+``--no-cache``; ``REPRO_JOBS`` is the environment override.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.results import SimResult
+from repro.runner.cache import ResultCache
+from repro.runner.job import SimJob
+
+#: Environment override for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count when none is given: ``$REPRO_JOBS``, else 1 (serial)."""
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def execute_job(job: SimJob) -> SimResult:
+    """Run one job to completion (top-level so it pickles to workers)."""
+    from repro.system import MemoryNetworkSystem
+
+    return MemoryNetworkSystem(
+        job.config, job.workload, requests=job.requests
+    ).run()
+
+
+class ParallelRunner:
+    """Cache-aware, deduplicating batch executor for simulation jobs."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        # A fresh memory-only cache when none is shared in; callers that
+        # want cross-runner reuse pass the ambient runner's cache.
+        self.cache = ResultCache() if cache is None else cache
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------
+    def run_one(self, job: SimJob) -> SimResult:
+        return self.run([job])[0]
+
+    def run(self, batch: Sequence[SimJob]) -> List[SimResult]:
+        """Execute a batch; returns results aligned with the input order."""
+        digests = [job.digest() for job in batch]
+        results: Dict[str, SimResult] = {}
+        pending: List[SimJob] = []
+        for job, digest in zip(batch, digests):
+            if digest in results:
+                continue  # duplicate within the batch
+            cached = self.cache.get(digest)
+            if cached is not None:
+                results[digest] = cached
+            else:
+                results[digest] = None  # reserve slot, keep first occurrence
+                pending.append(job)
+        if pending:
+            for job, result in zip(pending, self._execute(pending)):
+                digest = job.digest()
+                results[digest] = result
+                self.cache.put(digest, result)
+            self.simulations_run += len(pending)
+        return [results[digest] for digest in digests]
+
+    def _execute(self, pending: List[SimJob]) -> List[SimResult]:
+        workers = min(self.jobs, len(pending))
+        if workers <= 1:
+            return [execute_job(job) for job in pending]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, pending))
+
+
+# ---------------------------------------------------------------------------
+# Ambient runner
+# ---------------------------------------------------------------------------
+_ambient: Optional[ParallelRunner] = None
+
+
+def get_runner() -> ParallelRunner:
+    """The process-wide runner, created lazily (serial, memory cache)."""
+    global _ambient
+    if _ambient is None:
+        _ambient = ParallelRunner()
+    return _ambient
+
+
+def configure_runner(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    persistent: bool = False,
+) -> ParallelRunner:
+    """Replace the ambient runner (used by CLIs and benchmarks).
+
+    ``persistent=True`` turns on the disk layer at ``cache_dir`` (or the
+    default location, see :func:`repro.runner.cache.default_cache_dir`).
+    The in-memory layer is always active.
+    """
+    from repro.runner.cache import default_cache_dir
+
+    global _ambient
+    directory = None
+    if persistent:
+        directory = cache_dir if cache_dir is not None else default_cache_dir()
+    _ambient = ParallelRunner(jobs=jobs, cache=ResultCache(directory))
+    return _ambient
+
+
+def reset_runner() -> None:
+    """Drop the ambient runner (next :func:`get_runner` recreates it)."""
+    global _ambient
+    _ambient = None
+
+
+@contextlib.contextmanager
+def using_runner(runner: ParallelRunner) -> Iterator[ParallelRunner]:
+    """Temporarily swap the ambient runner (tests, nested harnesses)."""
+    global _ambient
+    previous = _ambient
+    _ambient = runner
+    try:
+        yield runner
+    finally:
+        _ambient = previous

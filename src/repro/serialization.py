@@ -4,15 +4,30 @@ reporting helpers.
 Simulation campaigns (sweeps, nightly regressions) need results that
 outlive the process; this module flattens :class:`SimResult` into
 JSON-serializable dictionaries and writes experiment bundles.
+
+Two representations exist:
+
+* :func:`result_to_dict` — a *report* view (means, rates, totals) for
+  human consumption and cross-run comparison.  Lossy.
+* :func:`result_to_state` / :func:`result_from_state` — a *lossless*
+  round-trip of every aggregate a :class:`SimResult` carries, used by
+  the runner's disk cache and by determinism checks
+  (:func:`result_digest`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.results import SimResult
+from repro.results import EnergyReport, LatencyBreakdown, SimResult, TransactionCollector
+from repro.sim.stats import RunningStat
+
+#: Bump whenever the state schema (or anything that feeds it) changes in
+#: a way that invalidates previously persisted results.
+RESULT_STATE_VERSION = 1
 
 
 def result_to_dict(result: SimResult) -> Dict[str, object]:
@@ -55,6 +70,144 @@ def result_to_dict(result: SimResult) -> Dict[str, object]:
         "stalled_reads": result.stalled_reads,
         "events_processed": result.events_processed,
     }
+
+
+# ---------------------------------------------------------------------------
+# Lossless state round-trip (runner disk cache, determinism checks)
+# ---------------------------------------------------------------------------
+def _stat_to_state(stat: RunningStat) -> Dict[str, object]:
+    return {
+        "count": stat.count,
+        "mean": stat._mean,
+        "m2": stat._m2,
+        "min": stat.min,
+        "max": stat.max,
+        "total": stat.total,
+    }
+
+
+def _stat_from_state(state: Dict[str, object]) -> RunningStat:
+    # Values are passed through verbatim: JSON preserves the int/float
+    # distinction, and coercing here would make a round-tripped result
+    # hash differently from the freshly computed one.
+    stat = RunningStat()
+    stat.count = state["count"]
+    stat._mean = state["mean"]
+    stat._m2 = state["m2"]
+    stat.min = state["min"]
+    stat.max = state["max"]
+    stat.total = state["total"]
+    return stat
+
+
+def _breakdown_to_state(breakdown: LatencyBreakdown) -> Dict[str, object]:
+    return {
+        "to_memory": _stat_to_state(breakdown.to_memory),
+        "in_memory": _stat_to_state(breakdown.in_memory),
+        "from_memory": _stat_to_state(breakdown.from_memory),
+    }
+
+
+def _breakdown_from_state(state: Dict[str, object]) -> LatencyBreakdown:
+    return LatencyBreakdown(
+        to_memory=_stat_from_state(state["to_memory"]),
+        in_memory=_stat_from_state(state["in_memory"]),
+        from_memory=_stat_from_state(state["from_memory"]),
+    )
+
+
+def _collector_to_state(collector: TransactionCollector) -> Dict[str, object]:
+    return {
+        "reads": collector.reads,
+        "writes": collector.writes,
+        "all": _breakdown_to_state(collector.all),
+        "read_breakdown": _breakdown_to_state(collector.read_breakdown),
+        "write_breakdown": _breakdown_to_state(collector.write_breakdown),
+        "request_hops": _stat_to_state(collector.request_hops),
+        "response_hops": _stat_to_state(collector.response_hops),
+        "row_hits": collector.row_hits,
+        "nvm_accesses": collector.nvm_accesses,
+        "last_complete_ps": collector.last_complete_ps,
+    }
+
+
+def _collector_from_state(state: Dict[str, object]) -> TransactionCollector:
+    collector = TransactionCollector()
+    collector.reads = state["reads"]
+    collector.writes = state["writes"]
+    collector.all = _breakdown_from_state(state["all"])
+    collector.read_breakdown = _breakdown_from_state(state["read_breakdown"])
+    collector.write_breakdown = _breakdown_from_state(state["write_breakdown"])
+    collector.request_hops = _stat_from_state(state["request_hops"])
+    collector.response_hops = _stat_from_state(state["response_hops"])
+    collector.row_hits = state["row_hits"]
+    collector.nvm_accesses = state["nvm_accesses"]
+    collector.last_complete_ps = state["last_complete_ps"]
+    return collector
+
+
+def result_to_state(result: SimResult) -> Dict[str, object]:
+    """Lossless, JSON-serializable dump of a :class:`SimResult`."""
+    return {
+        "version": RESULT_STATE_VERSION,
+        "config_label": result.config_label,
+        "workload": result.workload,
+        "runtime_ps": result.runtime_ps,
+        "collector": _collector_to_state(result.collector),
+        "energy": {
+            "network_pj": result.energy.network_pj,
+            "interposer_pj": result.energy.interposer_pj,
+            "memory_read_pj": result.energy.memory_read_pj,
+            "memory_write_pj": result.energy.memory_write_pj,
+        },
+        "mean_distance": result.mean_distance,
+        "max_distance": result.max_distance,
+        "stalled_reads": result.stalled_reads,
+        "burst_mode_toggles": result.burst_mode_toggles,
+        "events_processed": result.events_processed,
+        "extra": dict(result.extra),
+    }
+
+
+def result_from_state(state: Dict[str, object]) -> SimResult:
+    """Rebuild a :class:`SimResult` from :func:`result_to_state` output."""
+    version = state.get("version")
+    if version != RESULT_STATE_VERSION:
+        raise ValueError(
+            f"result state version {version!r} != {RESULT_STATE_VERSION}"
+        )
+    energy = state["energy"]
+    return SimResult(
+        config_label=state["config_label"],
+        workload=state["workload"],
+        runtime_ps=state["runtime_ps"],
+        collector=_collector_from_state(state["collector"]),
+        energy=EnergyReport(
+            network_pj=energy["network_pj"],
+            interposer_pj=energy["interposer_pj"],
+            memory_read_pj=energy["memory_read_pj"],
+            memory_write_pj=energy["memory_write_pj"],
+        ),
+        mean_distance=state["mean_distance"],
+        max_distance=state["max_distance"],
+        stalled_reads=state["stalled_reads"],
+        burst_mode_toggles=state["burst_mode_toggles"],
+        events_processed=state["events_processed"],
+        extra=dict(state["extra"]),
+    )
+
+
+def result_digest(result: SimResult) -> str:
+    """Stable content hash of a result's full state.
+
+    Two runs that produced bit-identical aggregates hash identically, so
+    this is the equality check used by the serial/parallel/cached
+    determinism tests.
+    """
+    payload = json.dumps(
+        result_to_state(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def save_results(

@@ -85,20 +85,35 @@ class Engine:
 
         Returns the number of events processed during this call.
         """
+        # This loop dominates every simulation's wall-clock time, so the
+        # queue and heappop are bound to locals and the optional-bound
+        # checks are hoisted out of the common path.
         processed = 0
+        queue = self._queue
+        pop = heapq.heappop
         self._running = True
         try:
-            while self._queue:
-                time = self._queue[0][0]
-                if until is not None and time > until:
+            if until is None and max_events is None and stop_when is None:
+                # fast path: run the queue dry, no per-event bound checks
+                while queue:
+                    time, _seq, callback, args = pop(queue)
+                    self._now = time
+                    callback(self, *args)
+                    processed += 1
+                return processed
+            bounded = until is not None
+            limited = max_events is not None
+            while queue:
+                if bounded and queue[0][0] > until:
                     self._now = until
                     break
-                time, _seq, callback, args = heapq.heappop(self._queue)
+                time, _seq, callback, args = pop(queue)
                 self._now = time
                 callback(self, *args)
                 processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
+                if limited and processed >= max_events:
+                    self._events_processed += processed
+                    processed = 0  # flushed; avoid double-count in finally
                     raise SimulationError(
                         f"event limit {max_events} exceeded at t={self._now}; "
                         "likely livelock"
@@ -106,11 +121,12 @@ class Engine:
                 if stop_when is not None and stop_when():
                     break
             else:
-                if until is not None and until > self._now:
+                if bounded and until > self._now:
                     self._now = until
+            return processed
         finally:
+            self._events_processed += processed
             self._running = False
-        return processed
 
     def drain(self) -> None:
         """Discard all pending events (used to tear a system down)."""

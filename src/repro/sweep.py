@@ -25,7 +25,7 @@ from repro.analysis.tables import render_table
 from repro.config import SystemConfig
 from repro.errors import ConfigError
 from repro.results import SimResult
-from repro.system import simulate
+from repro.runner import ParallelRunner, SimJob, get_runner
 from repro.workloads import WorkloadSpec
 
 
@@ -76,24 +76,45 @@ class Sweep:
             config = set_config_field(config, field, value)
         return config
 
-    def run(self, skip_invalid: bool = True) -> List[Dict[str, Any]]:
+    def run(
+        self,
+        skip_invalid: bool = True,
+        jobs: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
         """Simulate every point; returns rows of axis values + metrics.
 
         Points whose configuration cannot be built (e.g. a DRAM fraction
         that does not decompose into whole cubes) are skipped when
         ``skip_invalid`` is set, recorded with ``error`` otherwise.
+
+        Valid points are validated up front and dispatched as one batch
+        through the runner, so identical points are simulated once and
+        ``jobs > 1`` spreads the batch over worker processes.  ``jobs``
+        defaults to the ambient runner's worker count.
         """
         rows: List[Dict[str, Any]] = []
+        batch: List[SimJob] = []
+        slots: List[Dict[str, Any]] = []  # rows awaiting their result
         for point in self.points():
             try:
                 config = self.config_for(point)
-                result = simulate(config, self.workload, requests=self.requests)
+                config.validate()
             except ConfigError as error:
                 if skip_invalid:
                     continue
                 rows.append(dict(point, error=str(error)))
                 continue
-            rows.append(dict(point, **_metrics(result)))
+            row = dict(point)
+            rows.append(row)
+            slots.append(row)
+            batch.append(
+                SimJob(config=config, workload=self.workload, requests=self.requests)
+            )
+        runner = get_runner()
+        if jobs is not None and jobs != runner.jobs:
+            runner = ParallelRunner(jobs=jobs, cache=runner.cache)
+        for row, result in zip(slots, runner.run(batch)):
+            row.update(_metrics(result))
         return rows
 
     def render(self, rows: Optional[List[Dict[str, Any]]] = None) -> str:
@@ -104,14 +125,21 @@ class Sweep:
         headers = axis_names + ["runtime_us", "latency_ns", "energy_uj"]
         table_rows = []
         for row in rows:
-            table_rows.append(
-                [str(row.get(name)) for name in axis_names]
-                + [
-                    f"{row.get('runtime_us', float('nan')):.2f}",
-                    f"{row.get('latency_ns', float('nan')):.1f}",
-                    f"{row.get('energy_uj', float('nan')):.2f}",
+            cells = [str(row.get(name)) for name in axis_names]
+            if "error" in row:
+                # Invalid points (run(skip_invalid=False)) have no
+                # metrics; show the reason instead of formatted NaNs.
+                message = str(row["error"])
+                if len(message) > 40:
+                    message = message[:37] + "..."
+                cells += [f"error: {message}", "-", "-"]
+            else:
+                cells += [
+                    f"{row['runtime_us']:.2f}",
+                    f"{row['latency_ns']:.1f}",
+                    f"{row['energy_uj']:.2f}",
                 ]
-            )
+            table_rows.append(cells)
         return render_table(headers, table_rows, title=f"Sweep ({self.workload.name})")
 
 

@@ -308,7 +308,21 @@ def simulate(
     requests: int = 2000,
     workload_iter: Optional[Iterator[Request]] = None,
 ) -> SimResult:
-    """Convenience one-shot: build a system, run it, return the result."""
-    return MemoryNetworkSystem(
-        config, workload, requests=requests, workload_iter=workload_iter
-    ).run()
+    """Convenience one-shot: build a system, run it, return the result.
+
+    Routed through the ambient :class:`repro.runner.ParallelRunner`, so
+    repeated calls with an identical (config, workload, requests) triple
+    are memoized by content digest.  An explicit ``workload_iter`` makes
+    the run non-reproducible from its arguments alone, so those runs
+    bypass the runner and always simulate.
+    """
+    if workload_iter is not None:
+        return MemoryNetworkSystem(
+            config, workload, requests=requests, workload_iter=workload_iter
+        ).run()
+    # Imported here: repro.runner imports repro.system for its workers.
+    from repro.runner import SimJob, get_runner
+
+    return get_runner().run_one(
+        SimJob(config=config, workload=workload, requests=requests)
+    )
