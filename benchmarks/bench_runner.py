@@ -9,8 +9,9 @@ four ways —
 * ``warm_cache``    second run against the same directory (zero simulations),
 
 plus a cross-figure pass (fig04 after fig10 against the warm cache, whose
-baseline/tree/ring points are already cached) and an engine micro-number
-(events/second on one run).  Results land in ``BENCH_runner.json``.
+baseline/tree/ring points are already cached) and engine micro-numbers
+(events/second with observability off, with latency attribution on, and
+with full event tracing on).  Results land in ``BENCH_runner.json``.
 
 Usage::
 
@@ -55,8 +56,8 @@ def timed_run(experiment_id: str, runner: ParallelRunner, requests: int):
     return elapsed, runner.simulations_run - before
 
 
-def engine_events_per_second(requests: int) -> float:
-    system = MemoryNetworkSystem(BASE, get_workload("KMEANS"), requests=requests)
+def engine_events_per_second(requests: int, config: SystemConfig = BASE) -> float:
+    system = MemoryNetworkSystem(config, get_workload("KMEANS"), requests=requests)
     started = time.perf_counter()
     result = system.run()
     elapsed = time.perf_counter() - started
@@ -122,6 +123,16 @@ def main(argv=None) -> int:
 
     events_per_s = engine_events_per_second(args.requests * 4)
     print(f"  engine           : {events_per_s / 1e3:.0f}k events/s")
+    # The observability layer must cost nothing when off; these two
+    # numbers quantify what turning it on costs (docs/observability.md).
+    attributed_per_s = engine_events_per_second(
+        args.requests * 4, BASE.with_obs(attribution=True)
+    )
+    traced_per_s = engine_events_per_second(
+        args.requests * 4, BASE.with_obs(attribution=True, trace=True)
+    )
+    print(f"  engine (attrib)  : {attributed_per_s / 1e3:.0f}k events/s")
+    print(f"  engine (traced)  : {traced_per_s / 1e3:.0f}k events/s")
 
     payload = {
         "experiment": EXPERIMENT,
@@ -143,6 +154,8 @@ def main(argv=None) -> int:
         "cross_experiment_s": round(cross_s, 3),
         "cross_experiment_simulations": cross_sims,
         "engine_events_per_s": round(events_per_s),
+        "engine_events_per_s_attribution": round(attributed_per_s),
+        "engine_events_per_s_traced": round(traced_per_s),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -258,6 +258,44 @@ class EnergyConfig:
 
 
 # ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObsConfig:
+    """Opt-in observability: latency attribution and event tracing.
+
+    Everything here defaults to *off*; the simulator's hot paths then pay
+    at most a ``None``/flag check per event (the zero-overhead guard
+    benchmarked by ``benchmarks/bench_runner.py``).
+
+    ``attribution`` makes every transaction accumulate timestamped
+    latency segments (see :mod:`repro.obs.attribution`), which surface as
+    per-segment histograms on the result's collector.  ``trace`` attaches
+    a ring-buffered :class:`repro.obs.TraceRecorder` to the engine,
+    links, routers and queues; with ``trace_dir`` set, each run dumps
+    ``trace_<label>_<workload>.jsonl`` and a Chrome-loadable
+    ``trace_<label>_<workload>.json`` there.  Note that cache-served
+    (warm) runs do not re-simulate and therefore do not rewrite traces.
+    """
+
+    attribution: bool = False
+    trace: bool = False
+    trace_ring: int = 1 << 16
+    trace_dir: Optional[str] = None
+    # Also record every engine event dispatch (very chatty; floods the
+    # ring long before link/queue events would).
+    trace_engine_events: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.attribution or self.trace
+
+    def validate(self) -> None:
+        if self.trace_ring < 1:
+            raise ConfigError("trace ring capacity must be at least 1")
+
+
+# ---------------------------------------------------------------------------
 # Arbitration / topology identifiers
 # ---------------------------------------------------------------------------
 ARBITER_ROUND_ROBIN = "round_robin"
@@ -317,6 +355,7 @@ class SystemConfig:
     cube: CubeConfig = field(default_factory=CubeConfig)
     host: HostConfig = field(default_factory=HostConfig)
     energy: EnergyConfig = field(default_factory=EnergyConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     dram: MemTechConfig = field(default_factory=dram_tech)
     nvm: MemTechConfig = field(default_factory=nvm_tech)
     metacube_arity: int = 4
@@ -356,6 +395,7 @@ class SystemConfig:
             if len(pair) != 2:
                 raise ConfigError(f"failed link {pair!r} must be a node pair")
         self.link.validate()
+        self.obs.validate()
         self.packet.validate()
         self.cube.validate()
         self.host.validate()
@@ -415,6 +455,10 @@ class SystemConfig:
     def with_(self, **changes) -> "SystemConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def with_obs(self, **changes) -> "SystemConfig":
+        """Return a copy with observability fields replaced."""
+        return replace(self, obs=replace(self.obs, **changes))
 
 
 _LABEL_RE = re.compile(

@@ -7,9 +7,10 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment
+from repro.config import SystemConfig
+from repro.experiments.registry import experiment_ids, get_experiment
 from repro.runner import configure_runner, default_jobs
-from repro.workloads import PAPER_SUITE, get_workload
+from repro.workloads import get_workload
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -49,6 +50,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable the disk result cache (in-memory memoization stays on)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable per-hop latency attribution on every run (distinct "
+        "cache entries from unobserved runs)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="record event traces into DIR (implies --obs; traces are "
+        "written only by runs that actually simulate, not cache hits)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -59,6 +73,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     workloads = None
     if args.workloads:
         workloads = [get_workload(name) for name in args.workloads.split(",")]
+
+    base_config = None
+    if args.obs or args.trace:
+        base_config = SystemConfig().with_obs(
+            attribution=True,
+            trace=args.trace is not None,
+            trace_dir=args.trace,
+        )
 
     runner = configure_runner(
         jobs=args.jobs if args.jobs is not None else default_jobs(),
@@ -71,7 +93,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         run = get_experiment(experiment_id)
         started = time.time()
         simulated_before = runner.simulations_run
-        output = run(requests=args.requests, workloads=workloads)
+        output = run(
+            requests=args.requests,
+            workloads=workloads,
+            base_config=base_config,
+        )
         elapsed = time.time() - started
         simulated = runner.simulations_run - simulated_before
         print(output.text)

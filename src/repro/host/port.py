@@ -25,7 +25,7 @@ from repro.errors import WorkloadError
 from repro.host.address_map import AddressMap
 from repro.host.directory import Directory
 from repro.net.buffers import InputQueue
-from repro.net.packet import Packet, PacketKind, Transaction, request_packet
+from repro.net.packet import Packet, Transaction, request_packet
 from repro.net.routing import RouteClass, RouteTable
 from repro.net.router import Router
 from repro.sim.engine import Engine
@@ -76,6 +76,9 @@ class HostPort:
         self.issued = 0
         self.completed = 0
         self.generated = 0
+        # observability: transactions born at this port carry segment
+        # lists only when attribution is on (repro.obs)
+        self._attribution = config.obs.attribution
         # write-burst hysteresis state (Section 5.3)
         self._recent_writes: Deque[bool] = deque(maxlen=config.hysteresis_window)
         self.write_burst_mode = False
@@ -104,6 +107,8 @@ class HostPort:
             port_id=self.port_id,
             issue_ps=engine.now,
         )
+        if self._attribution:
+            txn.segments = []
         txn.location = self.address_map.decode(request.address)
         txn.dest_cube = self.cube_node_ids[txn.location.cube_index]
         self.pending.append(txn)
@@ -187,6 +192,12 @@ class HostPort:
 
     def _inject(self, engine: Engine, txn: Transaction) -> None:
         txn.inject_ps = engine.now
+        seg = txn.segments
+        if seg is not None:
+            reached_port = txn.start_ps + self.config.host.port_latency_ps
+            seg.append(("req.port", txn.start_ps, reached_port))
+            if engine.now > reached_port:
+                seg.append(("req.inject", reached_port, engine.now))
         packet = request_packet(self.config.packet, txn, engine.now)
         packet.src = self.route_table.host_id
         packet.dest = txn.dest_cube
@@ -216,6 +227,9 @@ class HostPort:
 
     def _complete(self, engine: Engine, txn: Transaction) -> None:
         txn.complete_ps = engine.now
+        if txn.segments is not None:
+            seg_start = engine.now - self.config.host.port_latency_ps
+            txn.segments.append(("resp.port", seg_start, engine.now))
         self.directory.completed(txn.address, txn.is_write)
         if txn.is_write:
             self.outstanding_writes -= 1

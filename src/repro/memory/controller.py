@@ -61,6 +61,8 @@ class QuadrantController:
         self.writes = 0
         self.row_hits = 0
         self.refreshes = 0
+        # observability (repro.obs): set by the system when tracing is on
+        self.tracer = None
         inject_queue.on_drain = self._inject_drained
 
     # -- admission ---------------------------------------------------------
@@ -78,6 +80,8 @@ class QuadrantController:
     # -- request path --------------------------------------------------------
     def receive(self, engine: Engine, packet: Packet) -> None:
         self._reserved -= 1
+        if packet.transaction.segments is not None:
+            packet.obs_mark = engine.now  # queue-wait clock starts here
         self._queue.append(packet)
         self._kick(engine)
 
@@ -108,9 +112,20 @@ class QuadrantController:
         self._arm_wakeup(engine)
 
     def _issue(self, engine: Engine, packet: Packet, bank: Bank, row: int) -> None:
-        is_write = packet.transaction.is_write
+        txn = packet.transaction
+        is_write = txn.is_write
         plan = self.timing.plan(bank, engine.now, row, is_write)
         self.timing.apply(bank, plan, row)
+        if txn.segments is not None:
+            now = engine.now
+            mark = packet.obs_mark
+            if mark is not None and now > mark:
+                txn.segments.append((f"mem.queue.{self.name}", mark, now))
+            txn.segments.append((f"mem.array.{self.name}", now, plan.data_ready_ps))
+        if self.tracer is not None:
+            self.tracer.mem_access(
+                self.name, engine.now, plan.data_ready_ps, plan.row_hit, is_write
+            )
         engine.schedule(
             plan.data_ready_ps - engine.now, self._complete, packet, plan
         )
@@ -128,6 +143,8 @@ class QuadrantController:
             self.row_hits += 1
         response = response_packet(self.packet_config, packet, engine.now)
         response.source_tech = self.timing.tech.name
+        if txn.segments is not None:
+            response.obs_mark = engine.now  # inject-stall clock starts here
         self.route_response(response)
         self._pending_responses.append(response)
         self._try_inject(engine)
@@ -137,6 +154,13 @@ class QuadrantController:
     def _try_inject(self, engine: Engine) -> None:
         while self._pending_responses and self.inject_queue.has_space():
             response = self._pending_responses.pop(0)
+            txn = response.transaction
+            if txn.segments is not None:
+                mark = response.obs_mark
+                if mark is not None and engine.now > mark:
+                    txn.segments.append(
+                        (f"resp.stall.{self.name}", mark, engine.now)
+                    )
             self.inject_queue.push(response, engine.now)
             self.router.packet_arrived(engine, self.inject_queue)
 

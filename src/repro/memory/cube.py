@@ -91,6 +91,14 @@ class MemoryCube:
         if arrival_port != quadrant:
             penalty = self.config.wrong_quadrant_penalty_ps
         if penalty:
+            if txn.segments is not None:
+                txn.segments.append(
+                    (
+                        f"mem.xbar.cube{self.node_id}",
+                        engine.now,
+                        engine.now + penalty,
+                    )
+                )
             engine.schedule(penalty, controller.receive, packet)
         else:
             controller.receive(engine, packet)

@@ -58,20 +58,15 @@ class MultiPortResult:
         return merged
 
     def merged_collector(self) -> TransactionCollector:
+        """Cross-port aggregate: stats, histograms and segments merged.
+
+        Latency histograms merge bucket-wise (``Histogram.merge``), so
+        the composed collector reports system-wide tail percentiles, not
+        just means.
+        """
         merged = TransactionCollector()
         for result in self.per_port:
-            collector = result.collector
-            merged.reads += collector.reads
-            merged.writes += collector.writes
-            merged.row_hits += collector.row_hits
-            merged.nvm_accesses += collector.nvm_accesses
-            merged.all.to_memory.merge(collector.all.to_memory)
-            merged.all.in_memory.merge(collector.all.in_memory)
-            merged.all.from_memory.merge(collector.all.from_memory)
-            merged.request_hops.merge(collector.request_hops)
-            merged.response_hops.merge(collector.response_hops)
-            if collector.last_complete_ps > merged.last_complete_ps:
-                merged.last_complete_ps = collector.last_complete_ps
+            merged.merge(result.collector)
         return merged
 
     def port_balance(self) -> float:

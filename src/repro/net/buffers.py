@@ -29,6 +29,7 @@ class InputQueue:
         "peak_occupancy",
         "total_wait_ps",
         "popped",
+        "tracer",
     )
 
     def __init__(self, name: str, capacity: Optional[int]) -> None:
@@ -42,6 +43,8 @@ class InputQueue:
         # waiting-time accounting (the Section 3.2 parking-lot analysis)
         self.total_wait_ps = 0
         self.popped = 0
+        # observability (repro.obs): set by the system when tracing is on
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -68,15 +71,24 @@ class InputQueue:
         self._entry_times.append(now_ps)
         if len(self._items) > self.peak_occupancy:
             self.peak_occupancy = len(self._items)
+        if self.tracer is not None:
+            self.tracer.queue_depth(self.name, now_ps, len(self._items))
 
     def pop(self, now_ps: Optional[int] = None) -> Packet:
         if not self._items:
             raise SimulationError(f"pop on empty queue {self.name}")
         entered = self._entry_times.popleft()
+        packet = self._items.popleft()
         if entered is not None and now_ps is not None:
             self.total_wait_ps += now_ps - entered
             self.popped += 1
-        return self._items.popleft()
+            txn = packet.transaction
+            if txn is not None and txn.segments is not None and now_ps > entered:
+                prefix = "req.queue." if packet.kind.is_request else "resp.queue."
+                txn.segments.append((prefix + self.name, entered, now_ps))
+        if self.tracer is not None:
+            self.tracer.queue_depth(self.name, now_ps, len(self._items))
+        return packet
 
     @property
     def mean_wait_ps(self) -> float:

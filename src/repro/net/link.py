@@ -100,6 +100,7 @@ class Link:
         "packets_carried",
         "bits_carried",
         "busy_ps",
+        "tracer",
     )
 
     def __init__(
@@ -130,6 +131,8 @@ class Link:
         self.packets_carried = 0
         self.bits_carried = 0
         self.busy_ps = 0
+        # observability (repro.obs): set by the system when tracing is on
+        self.tracer = None
         dst_queue.upstream_link = self
 
     # ------------------------------------------------------------------
@@ -166,6 +169,14 @@ class Link:
         arrival_delay = (
             ser + self.config.serdes_latency_ps + self.config.propagation_ps
         )
+        txn = packet.transaction
+        if txn is not None and txn.segments is not None:
+            prefix = "req.wire." if packet.kind.is_request else "resp.wire."
+            txn.segments.append(
+                (prefix + self.name, engine.now, engine.now + arrival_delay)
+            )
+        if self.tracer is not None:
+            self.tracer.link_send(self.name, engine.now, ser, arrival_delay, packet)
         engine.schedule(arrival_delay, self._deliver, packet)
 
     def _deliver(self, engine: Engine, packet: Packet) -> None:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.config import PacketConfig
 
@@ -74,6 +74,7 @@ class Packet:
         "hops_traversed",
         "transaction",
         "source_tech",
+        "obs_mark",
     )
 
     def __init__(
@@ -102,6 +103,9 @@ class Packet:
         self.hops_traversed = 0
         self.transaction = transaction
         self.source_tech: Optional[str] = None  # tech of responding cube
+        # Scratch timestamp for observability: marks when the packet
+        # entered its current waiting stage (set only with attribution on).
+        self.obs_mark: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -161,6 +165,7 @@ class Transaction:
         "dest_tech",
         "row_hit",
         "read_seq",
+        "segments",
     )
 
     _ids = itertools.count()
@@ -183,6 +188,11 @@ class Transaction:
         self.dest_tech: Optional[str] = None
         self.row_hit: Optional[bool] = None
         self.read_seq: Optional[int] = None  # in-order retirement index
+        # Per-hop latency attribution (repro.obs): ``None`` keeps the hot
+        # paths untouched; the host port sets it to ``[]`` when the
+        # system's ObsConfig asks for attribution, and every component
+        # the transaction visits then appends (label, start_ps, end_ps).
+        self.segments: Optional[List[Tuple[str, int, int]]] = None
 
     # latency components (valid once complete) --------------------------
     # The breakdown clock starts when the request enters the memory

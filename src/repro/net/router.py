@@ -9,7 +9,7 @@ deadlock-avoidance rule whose queuing side-effects Section 3.2 analyses.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.arbitration.base import OutputArbiter
 from repro.errors import SimulationError
@@ -94,6 +94,8 @@ class Router:
         self._arbiter_factory = arbiter_factory
         self.response_priority = response_priority
         self.grants: Dict[int, int] = {}
+        # observability (repro.obs): set by the system when tracing is on
+        self.tracer = None
 
     # -- construction ----------------------------------------------------
     def add_input(self, queue: InputQueue) -> int:
@@ -187,6 +189,10 @@ class Router:
                 raise SimulationError("arbiter must select queue heads")
             arbiter.record_grant()
             self.grants[key] = self.grants.get(key, 0) + 1
+            if self.tracer is not None:
+                self.tracer.router_grant(
+                    self.name, engine.now, key, packet, len(candidates)
+                )
             port.dispatch(engine, packet, index)
             if queue.upstream_link is not None:
                 queue.upstream_link.return_credit(engine)

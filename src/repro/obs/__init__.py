@@ -1,0 +1,39 @@
+"""Opt-in observability: latency attribution, tail metrics, tracing.
+
+Configured through :class:`repro.config.ObsConfig` (the ``obs`` field of
+:class:`~repro.config.SystemConfig`); everything defaults to off and the
+simulator's hot paths then pay at most a ``None`` check per event.  See
+``docs/observability.md`` for the full story.
+"""
+
+from repro.obs.attribution import (
+    PHASE_TO_COMPONENT,
+    PHASES,
+    SEGMENT_BUCKET_PS,
+    SEGMENT_NUM_BUCKETS,
+    UNATTRIBUTED,
+    category_of,
+    make_segment_histogram,
+    phase_of,
+    rollup,
+    segment_table_rows,
+    sum_by_label,
+    three_way_ns,
+)
+from repro.obs.tracing import TraceRecorder
+
+__all__ = [
+    "PHASES",
+    "PHASE_TO_COMPONENT",
+    "SEGMENT_BUCKET_PS",
+    "SEGMENT_NUM_BUCKETS",
+    "UNATTRIBUTED",
+    "TraceRecorder",
+    "category_of",
+    "make_segment_histogram",
+    "phase_of",
+    "rollup",
+    "segment_table_rows",
+    "sum_by_label",
+    "three_way_ns",
+]

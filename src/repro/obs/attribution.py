@@ -1,0 +1,156 @@
+"""Per-hop latency attribution: segment taxonomy and derived views.
+
+With ``config.obs.attribution`` on, every transaction carries a list of
+``(label, start_ps, end_ps)`` segments appended by the components it
+visits.  Labels follow a ``<phase>.<stage>[.<where>]`` taxonomy:
+
+============================  =============================================
+label                         meaning
+============================  =============================================
+``req.port``                  coherence point -> memory port crossing
+``req.inject``                wait for injection-queue space at the port
+``req.queue.<queue>``         router input-queue wait (request path)
+``req.wire.<link>``           serialization + SerDes + propagation
+``mem.xbar.<cube>``           wrong-quadrant crossing penalty
+``mem.queue.<controller>``    controller queue wait
+``mem.array.<controller>``    bank access (incl. bank-ready wait)
+``resp.stall.<controller>``   response waits for controller inject space
+``resp.queue.<queue>``        router input-queue wait (response path)
+``resp.wire.<link>``          link traversal (response path)
+``resp.port``                 memory port -> core crossing
+============================  =============================================
+
+The segments of one transaction tile its end-to-end latency exactly:
+``req.*`` sums to the Fig 5 *to-memory* interval, ``mem.*`` to
+*in-memory* and ``resp.*`` to *from-memory*, which is what lets the
+paper's three-way split be recomputed as a view over the N-way one
+(:func:`three_way_ns`).  Zero-length waits are never recorded, so any
+per-transaction residual (``UNATTRIBUTED``) indicates an instrumentation
+gap, not rounding.
+
+:class:`repro.results.TransactionCollector` folds each completed
+transaction's per-label duration sums into fixed-width histograms, so
+every segment exposes mean and tail percentiles (p50/p95/p99).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.sim.stats import Histogram
+from repro.units import to_ns
+
+#: Histogram shape for per-segment duration distributions: 4 ns buckets
+#: over a ~1 us in-range window; longer waits land in the overflow
+#: counter and percentiles clamp to the observed max.
+SEGMENT_BUCKET_PS = 4_000
+SEGMENT_NUM_BUCKETS = 256
+
+#: Pseudo-segment holding per-transaction time no component claimed.
+UNATTRIBUTED = "unattributed"
+
+PHASES = ("req", "mem", "resp")
+
+#: Fig 5 naming for each phase prefix.
+PHASE_TO_COMPONENT = {
+    "req": "to_memory",
+    "mem": "in_memory",
+    "resp": "from_memory",
+}
+
+
+def make_segment_histogram() -> Histogram:
+    return Histogram(SEGMENT_BUCKET_PS, SEGMENT_NUM_BUCKETS)
+
+
+def sum_by_label(
+    segments: Iterable[Tuple[str, int, int]]
+) -> Dict[str, int]:
+    """Per-label duration sums for one transaction's segment list."""
+    sums: Dict[str, int] = {}
+    for label, start_ps, end_ps in segments:
+        sums[label] = sums.get(label, 0) + (end_ps - start_ps)
+    return sums
+
+
+def phase_of(label: str) -> Optional[str]:
+    """The ``req``/``mem``/``resp`` phase a segment label belongs to."""
+    head = label.split(".", 1)[0]
+    return head if head in PHASES else None
+
+
+def category_of(label: str) -> str:
+    """``<phase>.<stage>`` — the label with its location detail dropped."""
+    parts = label.split(".")
+    return ".".join(parts[:2]) if len(parts) > 2 else label
+
+
+def rollup(
+    segment_hists: Mapping[str, Histogram]
+) -> Dict[str, Histogram]:
+    """Merge per-location segment histograms into per-category ones.
+
+    ``req.queue.n3.from2`` and ``req.queue.host.inject`` both fold into
+    ``req.queue``; labels without location detail pass through.  Input
+    histograms are not modified.
+    """
+    merged: Dict[str, Histogram] = {}
+    for label in sorted(segment_hists):
+        hist = segment_hists[label]
+        key = category_of(label)
+        into = merged.get(key)
+        if into is None:
+            into = merged[key] = Histogram(hist.bucket_width, len(hist.buckets))
+        into.merge(hist)
+    return merged
+
+
+def three_way_ns(
+    segment_hists: Mapping[str, Histogram], transactions: int
+) -> Dict[str, float]:
+    """The Fig 5 decomposition recomputed from segment attribution.
+
+    Mean nanoseconds per transaction for to/in/from-memory, each phase's
+    value being the summed duration of all its segments divided by the
+    collector's transaction count (segments a transaction did not incur
+    contribute zero, exactly as in the timestamp-based split).
+    """
+    totals = {phase: 0.0 for phase in PHASES}
+    for label, hist in segment_hists.items():
+        phase = phase_of(label)
+        if phase is not None:
+            totals[phase] += hist.stat.total
+    count = transactions or 1
+    return {
+        PHASE_TO_COMPONENT[phase]: to_ns(totals[phase] / count)
+        for phase in PHASES
+    }
+
+
+def segment_table_rows(
+    segment_hists: Mapping[str, Histogram], transactions: int
+) -> List[List[str]]:
+    """Rows (category, per-txn mean, mean, p50, p95, p99 — all ns) for
+    a rendered per-segment table, categories in phase order."""
+    merged = rollup(segment_hists)
+    order = {phase: i for i, phase in enumerate(PHASES)}
+    count = transactions or 1
+    rows: List[List[str]] = []
+    for label in sorted(
+        merged, key=lambda lb: (order.get(phase_of(lb) or "", 99), lb)
+    ):
+        hist = merged[label]
+        p50, _ = hist.percentile_detail(0.50)
+        p95, _ = hist.percentile_detail(0.95)
+        p99, clamped = hist.percentile_detail(0.99)
+        rows.append(
+            [
+                label,
+                f"{to_ns(hist.stat.total / count):8.1f}",
+                f"{to_ns(hist.stat.mean):8.1f}",
+                f"{to_ns(p50):8.1f}",
+                f"{to_ns(p95):8.1f}",
+                f"{to_ns(p99):8.1f}" + ("*" if clamped else ""),
+            ]
+        )
+    return rows

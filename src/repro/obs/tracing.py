@@ -1,0 +1,259 @@
+"""Ring-buffered event tracing for one simulation run.
+
+A :class:`TraceRecorder` is attached by :class:`repro.system.
+MemoryNetworkSystem` when ``config.obs.trace`` is set.  Components emit
+compact event tuples into a bounded ring (old events are evicted, the
+run never grows unbounded) while a handful of whole-run aggregates —
+per-link busy time and bits, per-queue peak depth — are accumulated
+outside the ring so the dump's utilization summary covers the entire
+run even when the ring wrapped.
+
+Two dump formats:
+
+* :meth:`TraceRecorder.write_jsonl` — one JSON object per line, ordered
+  by timestamp, with a trailing ``{"kind": "summary", ...}`` record
+  carrying per-link utilization and queue-depth statistics.
+* :meth:`TraceRecorder.write_chrome` — the Chrome ``trace_event`` JSON
+  array format (load in ``chrome://tracing`` or Perfetto): link
+  traversals and array accesses become duration ("X") events on one
+  pseudo-thread per component, queue depths become counter ("C") tracks.
+
+Timestamps are simulation picoseconds; Chrome expects microseconds, so
+the exporter divides by 1e6.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+# Event kinds (index 1 of every ring tuple).
+LINK = "link"
+QUEUE = "queue"
+GRANT = "grant"
+MEM = "mem"
+ENGINE = "engine"
+
+
+class TraceRecorder:
+    """Bounded event recorder plus whole-run link/queue aggregates."""
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be at least 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.emitted = 0  # total events seen; emitted - len(ring) = evicted
+        # Whole-run aggregates (never evicted).
+        self.link_busy_ps: Dict[str, int] = {}
+        self.link_bits: Dict[str, int] = {}
+        self.link_packets: Dict[str, int] = {}
+        self.queue_peak: Dict[str, int] = {}
+        self.last_ts = 0
+
+    # -- emission hooks (called from component hot paths when tracing) ----
+    def _emit(self, event: tuple) -> None:
+        self._ring.append(event)
+        self.emitted += 1
+        ts = event[0]
+        if ts > self.last_ts:
+            self.last_ts = ts
+
+    def link_send(
+        self, name: str, now_ps: int, ser_ps: int, arrival_ps: int, packet
+    ) -> None:
+        """A packet started serializing onto a link."""
+        busy = self.link_busy_ps
+        busy[name] = busy.get(name, 0) + ser_ps
+        bits = self.link_bits
+        bits[name] = bits.get(name, 0) + packet.size_bits
+        pkts = self.link_packets
+        pkts[name] = pkts.get(name, 0) + 1
+        self._emit(
+            (now_ps, LINK, name, ser_ps, arrival_ps, packet.pid,
+             packet.kind.name, packet.size_bits)
+        )
+
+    def queue_depth(self, name: str, now_ps: Optional[int], depth: int) -> None:
+        """An input queue's occupancy changed (push or pop)."""
+        peak = self.queue_peak
+        if depth > peak.get(name, 0):
+            peak[name] = depth
+        self._emit((now_ps or 0, QUEUE, name, depth))
+
+    def router_grant(
+        self, name: str, now_ps: int, output_key: int, packet, contenders: int
+    ) -> None:
+        """A router arbiter granted an output to an input head."""
+        self._emit(
+            (now_ps, GRANT, name, output_key, packet.pid, packet.kind.name,
+             contenders)
+        )
+
+    def mem_access(
+        self, name: str, now_ps: int, ready_ps: int, row_hit: bool,
+        is_write: bool,
+    ) -> None:
+        """A controller issued a bank access."""
+        self._emit((now_ps, MEM, name, ready_ps, row_hit, is_write))
+
+    def engine_event(self, now_ps: int, callback_name: str) -> None:
+        """One engine event dispatch (only with trace_engine_events)."""
+        self._emit((now_ps, ENGINE, callback_name))
+
+    # -- views ------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._ring)
+
+    def events(self) -> List[tuple]:
+        return list(self._ring)
+
+    def link_utilization(self, runtime_ps: Optional[int] = None) -> Dict[str, float]:
+        """Fraction of the run each link spent serializing packets."""
+        span = runtime_ps if runtime_ps else self.last_ts
+        if not span:
+            return {name: 0.0 for name in self.link_busy_ps}
+        return {
+            name: busy / span for name, busy in sorted(self.link_busy_ps.items())
+        }
+
+    def queue_depth_series(self) -> Dict[str, List[Tuple[int, int]]]:
+        """Per-queue (timestamp, depth) samples still present in the ring."""
+        series: Dict[str, List[Tuple[int, int]]] = {}
+        for event in self._ring:
+            if event[1] == QUEUE:
+                series.setdefault(event[2], []).append((event[0], event[3]))
+        return series
+
+    def summary(self, runtime_ps: Optional[int] = None) -> Dict[str, object]:
+        return {
+            "events_emitted": self.emitted,
+            "events_retained": len(self._ring),
+            "events_dropped": self.dropped,
+            "ring_capacity": self.capacity,
+            "link_utilization": self.link_utilization(runtime_ps),
+            "link_bits": dict(sorted(self.link_bits.items())),
+            "link_packets": dict(sorted(self.link_packets.items())),
+            "queue_peak_depth": dict(sorted(self.queue_peak.items())),
+        }
+
+    # -- dumps -------------------------------------------------------------
+    def _event_to_record(self, event: tuple) -> Dict[str, object]:
+        ts, kind = event[0], event[1]
+        record: Dict[str, object] = {"ts": ts, "kind": kind}
+        if kind == LINK:
+            record.update(
+                link=event[2], ser_ps=event[3], arrival_ps=event[4],
+                pid=event[5], packet=event[6], bits=event[7],
+            )
+        elif kind == QUEUE:
+            record.update(queue=event[2], depth=event[3])
+        elif kind == GRANT:
+            record.update(
+                router=event[2], output=event[3], pid=event[4],
+                packet=event[5], contenders=event[6],
+            )
+        elif kind == MEM:
+            record.update(
+                controller=event[2], ready_ps=event[3], row_hit=event[4],
+                is_write=event[5],
+            )
+        elif kind == ENGINE:
+            record.update(callback=event[2])
+        return record
+
+    def write_jsonl(
+        self, path: Union[str, Path], runtime_ps: Optional[int] = None
+    ) -> None:
+        """One JSON object per event, plus a trailing summary record."""
+        lines = [
+            json.dumps(self._event_to_record(event), separators=(",", ":"))
+            for event in self._ring
+        ]
+        summary = {"kind": "summary"}
+        summary.update(self.summary(runtime_ps))
+        lines.append(json.dumps(summary, separators=(",", ":")))
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    def write_chrome(
+        self,
+        path: Union[str, Path],
+        runtime_ps: Optional[int] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Chrome trace_event format (chrome://tracing / Perfetto)."""
+        events: List[Dict[str, object]] = []
+        tids: Dict[str, int] = {}
+
+        def tid(name: str) -> int:
+            number = tids.get(name)
+            if number is None:
+                number = len(tids) + 1
+                tids[name] = number
+                events.append(
+                    {
+                        "ph": "M", "name": "thread_name", "pid": 0,
+                        "tid": number, "args": {"name": name},
+                    }
+                )
+            return number
+
+        for event in self._ring:
+            ts_us = event[0] / 1e6
+            kind = event[1]
+            if kind == LINK:
+                events.append(
+                    {
+                        "ph": "X", "cat": "link",
+                        "name": f"{event[6]} #{event[5]}",
+                        "pid": 0, "tid": tid(f"link {event[2]}"),
+                        "ts": ts_us, "dur": event[3] / 1e6,
+                        "args": {"bits": event[7], "arrival_ps": event[4]},
+                    }
+                )
+            elif kind == QUEUE:
+                events.append(
+                    {
+                        "ph": "C", "name": f"queue {event[2]}", "pid": 0,
+                        "ts": ts_us, "args": {"depth": event[3]},
+                    }
+                )
+            elif kind == GRANT:
+                events.append(
+                    {
+                        "ph": "i", "s": "t", "cat": "grant",
+                        "name": f"grant {event[5]} #{event[4]} -> {event[3]}",
+                        "pid": 0, "tid": tid(f"router {event[2]}"),
+                        "ts": ts_us,
+                        "args": {"contenders": event[6]},
+                    }
+                )
+            elif kind == MEM:
+                events.append(
+                    {
+                        "ph": "X", "cat": "mem",
+                        "name": (
+                            f"{'write' if event[5] else 'read'}"
+                            f"{' hit' if event[4] else ' miss'}"
+                        ),
+                        "pid": 0, "tid": tid(f"ctrl {event[2]}"),
+                        "ts": ts_us, "dur": (event[3] - event[0]) / 1e6,
+                    }
+                )
+            elif kind == ENGINE:
+                events.append(
+                    {
+                        "ph": "i", "s": "g", "cat": "engine",
+                        "name": event[2], "pid": 0, "tid": tid("engine"),
+                        "ts": ts_us,
+                    }
+                )
+        payload: Dict[str, object] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": dict(metadata or {}, **self.summary(runtime_ps)),
+        }
+        Path(path).write_text(json.dumps(payload, separators=(",", ":")))

@@ -3,25 +3,80 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.net.packet import Transaction
-from repro.sim.stats import RunningStat
+from repro.obs.attribution import UNATTRIBUTED, make_segment_histogram, sum_by_label
+from repro.sim.stats import Histogram, RunningStat
 from repro.units import to_ns
+
+#: Histogram shape for the latency-component distributions: 2 ns buckets
+#: over a ~2 us in-range window.  Longer latencies land in the overflow
+#: counter; percentiles then clamp to the observed max (see
+#: :meth:`repro.sim.stats.Histogram.percentile_detail`).
+LATENCY_HIST_BUCKET_PS = 2_000
+LATENCY_HIST_NUM_BUCKETS = 1024
+
+
+def make_latency_histogram() -> Histogram:
+    return Histogram(LATENCY_HIST_BUCKET_PS, LATENCY_HIST_NUM_BUCKETS)
 
 
 @dataclass
 class LatencyBreakdown:
-    """The Fig 5 decomposition: to-memory / in-memory / from-memory."""
+    """The Fig 5 decomposition: to-memory / in-memory / from-memory.
+
+    Each component keeps a Welford :class:`RunningStat` *and* a
+    fixed-width :class:`Histogram` (plus one for the end-to-end total),
+    so the breakdown reports tail percentiles alongside means.
+    """
 
     to_memory: RunningStat = field(default_factory=RunningStat)
     in_memory: RunningStat = field(default_factory=RunningStat)
     from_memory: RunningStat = field(default_factory=RunningStat)
+    to_memory_hist: Histogram = field(default_factory=make_latency_histogram)
+    in_memory_hist: Histogram = field(default_factory=make_latency_histogram)
+    from_memory_hist: Histogram = field(default_factory=make_latency_histogram)
+    total_hist: Histogram = field(default_factory=make_latency_histogram)
 
     def add(self, txn: Transaction) -> None:
-        self.to_memory.add(txn.to_memory_ps)
-        self.in_memory.add(txn.in_memory_ps)
-        self.from_memory.add(txn.from_memory_ps)
+        to_ps = txn.to_memory_ps
+        in_ps = txn.in_memory_ps
+        from_ps = txn.from_memory_ps
+        self.to_memory.add(to_ps)
+        self.in_memory.add(in_ps)
+        self.from_memory.add(from_ps)
+        self.to_memory_hist.add(to_ps)
+        self.in_memory_hist.add(in_ps)
+        self.from_memory_hist.add(from_ps)
+        self.total_hist.add(to_ps + in_ps + from_ps)
+
+    def merge(self, other: "LatencyBreakdown") -> None:
+        """Fold another breakdown into this one (multi-port composition)."""
+        self.to_memory.merge(other.to_memory)
+        self.in_memory.merge(other.in_memory)
+        self.from_memory.merge(other.from_memory)
+        self.to_memory_hist.merge(other.to_memory_hist)
+        self.in_memory_hist.merge(other.in_memory_hist)
+        self.from_memory_hist.merge(other.from_memory_hist)
+        self.total_hist.merge(other.total_hist)
+
+    def percentile_ns(self, component: str, fraction: float) -> float:
+        """Percentile (ns) of one component's latency distribution."""
+        hist: Histogram = getattr(self, f"{component}_hist")
+        return to_ns(hist.percentile(fraction))
+
+    def tails_ns(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 (ns) for each component and the total."""
+        out: Dict[str, Dict[str, float]] = {}
+        for component in ("to_memory", "in_memory", "from_memory", "total"):
+            hist: Histogram = getattr(self, f"{component}_hist")
+            out[component] = {
+                "p50": to_ns(hist.percentile(0.50)),
+                "p95": to_ns(hist.percentile(0.95)),
+                "p99": to_ns(hist.percentile(0.99)),
+            }
+        return out
 
     @property
     def to_memory_ns(self) -> float:
@@ -49,7 +104,16 @@ class LatencyBreakdown:
 
 
 class TransactionCollector:
-    """Streams completed transactions into aggregate statistics."""
+    """Streams completed transactions into aggregate statistics.
+
+    When latency attribution is on (``config.obs.attribution``),
+    transactions arrive carrying per-hop segments; the collector folds
+    each transaction's per-label duration sums into ``segments``, a dict
+    of label -> :class:`Histogram`, giving every segment a mean and tail
+    percentiles.  Per-transaction time no segment claimed accumulates
+    under :data:`repro.obs.attribution.UNATTRIBUTED` — a nonzero mean
+    there indicates an instrumentation gap.
+    """
 
     def __init__(self) -> None:
         self.reads = 0
@@ -62,6 +126,7 @@ class TransactionCollector:
         self.row_hits = 0
         self.nvm_accesses = 0
         self.last_complete_ps = 0
+        self.segments: Dict[str, Histogram] = {}
 
     def add(self, txn: Transaction) -> None:
         if txn.is_write:
@@ -79,6 +144,45 @@ class TransactionCollector:
             self.nvm_accesses += 1
         if txn.complete_ps and txn.complete_ps > self.last_complete_ps:
             self.last_complete_ps = txn.complete_ps
+        if txn.segments is not None:
+            self._add_segments(txn)
+
+    def _add_segments(self, txn: Transaction) -> None:
+        sums = sum_by_label(txn.segments)
+        covered = 0
+        segments = self.segments
+        for label, duration_ps in sums.items():
+            covered += duration_ps
+            hist = segments.get(label)
+            if hist is None:
+                hist = segments[label] = make_segment_histogram()
+            hist.add(duration_ps)
+        residual = txn.total_ps - covered
+        hist = segments.get(UNATTRIBUTED)
+        if hist is None:
+            hist = segments[UNATTRIBUTED] = make_segment_histogram()
+        hist.add(residual)
+
+    def merge(self, other: "TransactionCollector") -> None:
+        """Fold another collector into this one (multi-port composition)."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.row_hits += other.row_hits
+        self.nvm_accesses += other.nvm_accesses
+        self.all.merge(other.all)
+        self.read_breakdown.merge(other.read_breakdown)
+        self.write_breakdown.merge(other.write_breakdown)
+        self.request_hops.merge(other.request_hops)
+        self.response_hops.merge(other.response_hops)
+        if other.last_complete_ps > self.last_complete_ps:
+            self.last_complete_ps = other.last_complete_ps
+        for label, hist in other.segments.items():
+            into = self.segments.get(label)
+            if into is None:
+                into = self.segments[label] = Histogram(
+                    hist.bucket_width, len(hist.buckets)
+                )
+            into.merge(hist)
 
     @property
     def count(self) -> int:
@@ -132,6 +236,18 @@ class SimResult:
     @property
     def mean_latency_ns(self) -> float:
         return self.collector.all.total_ns
+
+    @property
+    def p50_latency_ns(self) -> float:
+        return self.collector.all.percentile_ns("total", 0.50)
+
+    @property
+    def p95_latency_ns(self) -> float:
+        return self.collector.all.percentile_ns("total", 0.95)
+
+    @property
+    def p99_latency_ns(self) -> float:
+        return self.collector.all.percentile_ns("total", 0.99)
 
     @property
     def read_fraction(self) -> float:

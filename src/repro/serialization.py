@@ -23,11 +23,13 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.results import EnergyReport, LatencyBreakdown, SimResult, TransactionCollector
-from repro.sim.stats import RunningStat
+from repro.sim.stats import Histogram, RunningStat
 
 #: Bump whenever the state schema (or anything that feeds it) changes in
 #: a way that invalidates previously persisted results.
-RESULT_STATE_VERSION = 1
+#: v2: latency-component histograms on every breakdown, per-segment
+#: attribution histograms on the collector (the repro.obs layer).
+RESULT_STATE_VERSION = 2
 
 
 def result_to_dict(result: SimResult) -> Dict[str, object]:
@@ -45,6 +47,7 @@ def result_to_dict(result: SimResult) -> Dict[str, object]:
             "in_memory_ns": breakdown.in_memory_ns,
             "from_memory_ns": breakdown.from_memory_ns,
             "total_ns": breakdown.total_ns,
+            "tails_ns": breakdown.tails_ns(),
         },
         "hops": {
             "request_mean": result.collector.request_hops.mean,
@@ -100,11 +103,38 @@ def _stat_from_state(state: Dict[str, object]) -> RunningStat:
     return stat
 
 
+def _hist_to_state(hist: Histogram) -> Dict[str, object]:
+    # Buckets are stored sparsely as [index, count] pairs: latency
+    # histograms have 1024 buckets of which a handful are populated.
+    return {
+        "bucket_width": hist.bucket_width,
+        "num_buckets": len(hist.buckets),
+        "buckets": [[i, n] for i, n in enumerate(hist.buckets) if n],
+        "underflow": hist.underflow,
+        "overflow": hist.overflow,
+        "stat": _stat_to_state(hist.stat),
+    }
+
+
+def _hist_from_state(state: Dict[str, object]) -> Histogram:
+    hist = Histogram(state["bucket_width"], state["num_buckets"])
+    for index, n in state["buckets"]:
+        hist.buckets[index] = n
+    hist.underflow = state["underflow"]
+    hist.overflow = state["overflow"]
+    hist.stat = _stat_from_state(state["stat"])
+    return hist
+
+
 def _breakdown_to_state(breakdown: LatencyBreakdown) -> Dict[str, object]:
     return {
         "to_memory": _stat_to_state(breakdown.to_memory),
         "in_memory": _stat_to_state(breakdown.in_memory),
         "from_memory": _stat_to_state(breakdown.from_memory),
+        "to_memory_hist": _hist_to_state(breakdown.to_memory_hist),
+        "in_memory_hist": _hist_to_state(breakdown.in_memory_hist),
+        "from_memory_hist": _hist_to_state(breakdown.from_memory_hist),
+        "total_hist": _hist_to_state(breakdown.total_hist),
     }
 
 
@@ -113,6 +143,10 @@ def _breakdown_from_state(state: Dict[str, object]) -> LatencyBreakdown:
         to_memory=_stat_from_state(state["to_memory"]),
         in_memory=_stat_from_state(state["in_memory"]),
         from_memory=_stat_from_state(state["from_memory"]),
+        to_memory_hist=_hist_from_state(state["to_memory_hist"]),
+        in_memory_hist=_hist_from_state(state["in_memory_hist"]),
+        from_memory_hist=_hist_from_state(state["from_memory_hist"]),
+        total_hist=_hist_from_state(state["total_hist"]),
     )
 
 
@@ -128,6 +162,10 @@ def _collector_to_state(collector: TransactionCollector) -> Dict[str, object]:
         "row_hits": collector.row_hits,
         "nvm_accesses": collector.nvm_accesses,
         "last_complete_ps": collector.last_complete_ps,
+        "segments": {
+            label: _hist_to_state(hist)
+            for label, hist in sorted(collector.segments.items())
+        },
     }
 
 
@@ -143,6 +181,10 @@ def _collector_from_state(state: Dict[str, object]) -> TransactionCollector:
     collector.row_hits = state["row_hits"]
     collector.nvm_accesses = state["nvm_accesses"]
     collector.last_complete_ps = state["last_complete_ps"]
+    collector.segments = {
+        label: _hist_from_state(hist_state)
+        for label, hist_state in state.get("segments", {}).items()
+    }
     return collector
 
 

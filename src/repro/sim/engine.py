@@ -26,7 +26,7 @@ class Engine:
     [5]
     """
 
-    __slots__ = ("_queue", "_now", "_seq", "_events_processed", "_running")
+    __slots__ = ("_queue", "_now", "_seq", "_events_processed", "_running", "_tracer")
 
     def __init__(self) -> None:
         self._queue: list = []
@@ -34,6 +34,16 @@ class Engine:
         self._seq: int = 0
         self._events_processed: int = 0
         self._running = False
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Record every event dispatch into ``tracer`` (repro.obs).
+
+        Tracing swaps :meth:`run` onto a separate dispatch loop; with no
+        tracer attached the hot loops are untouched (one ``None`` check
+        per *run call*, not per event — the zero-overhead guard).
+        """
+        self._tracer = tracer
 
     @property
     def now(self) -> int:
@@ -88,6 +98,8 @@ class Engine:
         # This loop dominates every simulation's wall-clock time, so the
         # queue and heappop are bound to locals and the optional-bound
         # checks are hoisted out of the common path.
+        if self._tracer is not None:
+            return self._run_traced(until, max_events, stop_when)
         processed = 0
         queue = self._queue
         pop = heapq.heappop
@@ -109,6 +121,53 @@ class Engine:
                     break
                 time, _seq, callback, args = pop(queue)
                 self._now = time
+                callback(self, *args)
+                processed += 1
+                if limited and processed >= max_events:
+                    self._events_processed += processed
+                    processed = 0  # flushed; avoid double-count in finally
+                    raise SimulationError(
+                        f"event limit {max_events} exceeded at t={self._now}; "
+                        "likely livelock"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if bounded and until > self._now:
+                    self._now = until
+            return processed
+        finally:
+            self._events_processed += processed
+            self._running = False
+
+    def _run_traced(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> int:
+        """The :meth:`run` loop with per-event trace emission.
+
+        Kept out of line so the untraced loops stay check-free; trace
+        runs are diagnostic and not performance-sensitive.
+        """
+        tracer = self._tracer
+        processed = 0
+        queue = self._queue
+        pop = heapq.heappop
+        bounded = until is not None
+        limited = max_events is not None
+        self._running = True
+        try:
+            while queue:
+                if bounded and queue[0][0] > until:
+                    self._now = until
+                    break
+                time, _seq, callback, args = pop(queue)
+                self._now = time
+                tracer.engine_event(
+                    time, getattr(callback, "__qualname__", repr(callback))
+                )
                 callback(self, *args)
                 processed += 1
                 if limited and processed >= max_events:

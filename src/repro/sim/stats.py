@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 class RunningStat:
@@ -71,20 +71,35 @@ class RunningStat:
 
 
 class Histogram:
-    """Fixed-width bucket histogram with overflow bucket."""
+    """Fixed-width bucket histogram with underflow and overflow counters.
+
+    Bucket ``i`` covers ``[i * bucket_width, (i + 1) * bucket_width)``.
+    Negative samples land in ``underflow``; samples at or beyond the
+    bucketed range land in ``overflow``.  Both are part of ``count`` and
+    both participate in :meth:`percentile`, which clamps out-of-range
+    answers to the observed extremes instead of fabricating a midpoint.
+    """
+
+    __slots__ = ("bucket_width", "buckets", "underflow", "overflow", "stat")
 
     def __init__(self, bucket_width: float, num_buckets: int = 64) -> None:
         if bucket_width <= 0 or num_buckets <= 0:
             raise ValueError("bucket_width and num_buckets must be positive")
         self.bucket_width = bucket_width
         self.buckets = [0] * num_buckets
+        self.underflow = 0
         self.overflow = 0
         self.stat = RunningStat()
 
     def add(self, value: float) -> None:
         self.stat.add(value)
+        if value < 0:
+            # int() truncates toward zero, so (-width, 0) would otherwise
+            # alias into bucket 0; negatives are counted out-of-range.
+            self.underflow += 1
+            return
         index = int(value / self.bucket_width)
-        if 0 <= index < len(self.buckets):
+        if index < len(self.buckets):
             self.buckets[index] += 1
         else:
             self.overflow += 1
@@ -95,17 +110,49 @@ class Histogram:
 
     def percentile(self, fraction: float) -> float:
         """Approximate percentile from bucket midpoints (0 < fraction <= 1)."""
+        return self.percentile_detail(fraction)[0]
+
+    def percentile_detail(self, fraction: float) -> Tuple[float, bool]:
+        """Percentile plus whether it fell outside the bucketed range.
+
+        Returns ``(value, clamped)``.  ``clamped`` is True when the
+        requested fraction lands in the underflow/overflow tail, in which
+        case ``value`` is the observed min/max rather than a bucket
+        midpoint.
+        """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
         if self.count == 0:
-            return 0.0
+            return 0.0, False
         target = fraction * self.count
-        seen = 0
+        seen = self.underflow
+        if self.underflow and seen >= target:
+            return float(self.stat.min), True
         for i, n in enumerate(self.buckets):
             seen += n
             if seen >= target:
-                return (i + 0.5) * self.bucket_width
-        return (len(self.buckets) + 0.5) * self.bucket_width
+                return (i + 0.5) * self.bucket_width, False
+        # The percentile sits among overflowed samples: clamp to the
+        # largest value actually observed instead of inventing one.
+        return float(self.stat.max), True
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (bucket-wise)."""
+        if (
+            other.bucket_width != self.bucket_width
+            or len(other.buckets) != len(self.buckets)
+        ):
+            raise ValueError(
+                f"cannot merge histograms with different shapes: "
+                f"{self.bucket_width}x{len(self.buckets)} vs "
+                f"{other.bucket_width}x{len(other.buckets)}"
+            )
+        for i, n in enumerate(other.buckets):
+            if n:
+                self.buckets[i] += n
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.stat.merge(other.stat)
 
 
 class StatsRegistry:
@@ -138,6 +185,14 @@ class StatsRegistry:
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = dict(self.counters)
         for name, stat in self.stats.items():
-            out[f"{name}.mean"] = stat.mean
-            out[f"{name}.count"] = stat.count
+            for key, value in (
+                (f"{name}.mean", stat.mean),
+                (f"{name}.count", stat.count),
+            ):
+                if key in self.counters:
+                    raise ValueError(
+                        f"stats registry key collision: stat {name!r} emits "
+                        f"{key!r}, which is already a counter name"
+                    )
+                out[key] = value
         return out

@@ -13,7 +13,8 @@ load.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+import re
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.arbitration import ArbiterContext, make_arbiter_factory
 from repro.config import SystemConfig
@@ -32,6 +33,9 @@ from repro.topology import Topology, build_topology
 from repro.topology.base import HOST_ID, LinkKind, NodeKind
 from repro.units import serialization_ps
 from repro.workloads import Request, SyntheticWorkload, WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import TraceRecorder
 
 
 class MemoryNetworkSystem:
@@ -67,6 +71,7 @@ class MemoryNetworkSystem:
         self._fill_subtree_weights()
         self._build_address_map()
         self._build_port(workload, requests, workload_iter)
+        self.tracer = self._attach_tracer()
         self._warmup_count = int(requests * config.warmup_fraction)
         self._completed_count = 0
         self._started = False
@@ -231,6 +236,60 @@ class MemoryNetworkSystem:
         )
         self.host_node.attach_port(self.port.on_response)
 
+    def _attach_tracer(self) -> Optional["TraceRecorder"]:
+        """Hook a TraceRecorder into engine/links/routers/queues.
+
+        Returns None (and touches nothing) unless ``config.obs.trace``
+        is set — the zero-overhead-when-off guard leaves every hot-path
+        ``tracer`` attribute as its default ``None``.
+        """
+        obs = self.config.obs
+        if not obs.trace:
+            return None
+        from repro.obs import TraceRecorder
+
+        tracer = TraceRecorder(obs.trace_ring)
+        if obs.trace_engine_events:
+            self.engine.set_tracer(tracer)
+        for link, _kind in self._links:
+            link.tracer = tracer
+        for router in self._routers.values():
+            router.tracer = tracer
+            for queue in router.inputs:
+                queue.tracer = tracer
+        for cube in self.cubes.values():
+            for controller in cube.controllers:
+                controller.tracer = tracer
+        return tracer
+
+    def dump_trace(self, directory: str) -> List[str]:
+        """Write the run's trace as JSONL + Chrome trace_event files.
+
+        Returns the paths written.  Requires ``config.obs.trace``.
+        """
+        if self.tracer is None:
+            raise SimulationError("tracing is off; set config.obs.trace")
+        from pathlib import Path
+
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        tag = re.sub(
+            r"[^A-Za-z0-9_.-]+", "_",
+            f"{self.config.label()}_{self.workload_spec.name}",
+        ).strip("_")
+        runtime = self.collector.last_complete_ps or self.engine.now
+        metadata = {
+            "config": self.config.label(),
+            "workload": self.workload_spec.name,
+            "requests": self.requests,
+            "runtime_ps": runtime,
+        }
+        jsonl = out / f"trace_{tag}.jsonl"
+        chrome = out / f"trace_{tag}.json"
+        self.tracer.write_jsonl(jsonl, runtime)
+        self.tracer.write_chrome(chrome, runtime, metadata)
+        return [str(jsonl), str(chrome)]
+
     # ------------------------------------------------------------------
     # runtime callbacks
     # ------------------------------------------------------------------
@@ -271,6 +330,8 @@ class MemoryNetworkSystem:
                 f"transactions completed at t={self.engine.now}"
             )
         self.engine.drain()
+        if self.tracer is not None and self.config.obs.trace_dir:
+            self.dump_trace(self.config.obs.trace_dir)
         return self._result()
 
     def _result(self) -> SimResult:

@@ -1,0 +1,134 @@
+"""Command-line tracing entry point: ``python -m repro.trace``.
+
+Runs one simulation with the full observability stack on — per-hop
+latency attribution plus event tracing — and writes the trace in two
+formats next to a console summary:
+
+* ``trace_<config>_<workload>.jsonl`` — one JSON object per event with
+  a trailing summary record (link utilization, queue peaks).
+* ``trace_<config>_<workload>.json`` — Chrome ``trace_event`` format;
+  load it in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Example::
+
+    python -m repro.trace 100%-C BACKPROP --requests 500 --out traces/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import render_table
+from repro.config import parse_label
+from repro.obs.attribution import segment_table_rows, three_way_ns
+from repro.system import MemoryNetworkSystem
+from repro.workloads import get_workload, workload_names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Trace one simulation run (attribution + event trace).",
+    )
+    parser.add_argument(
+        "config",
+        help="configuration label, e.g. '100%%-C' or '50%%-T (NVM-L)'",
+    )
+    parser.add_argument(
+        "workload",
+        help=f"workload name, one of: {', '.join(workload_names())}",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=500,
+        help="memory requests to simulate (default 500)",
+    )
+    parser.add_argument(
+        "--out",
+        default="traces",
+        help="directory for trace files (default ./traces)",
+    )
+    parser.add_argument(
+        "--ring",
+        type=int,
+        default=1 << 16,
+        help="trace ring capacity in events; older events are evicted "
+        "(default 65536)",
+    )
+    parser.add_argument(
+        "--engine-events",
+        action="store_true",
+        help="also record every engine event dispatch (verbose)",
+    )
+    args = parser.parse_args(argv)
+
+    config = parse_label(args.config).with_obs(
+        attribution=True,
+        trace=True,
+        trace_ring=args.ring,
+        trace_engine_events=args.engine_events,
+    )
+    workload = get_workload(args.workload)
+    system = MemoryNetworkSystem(config, workload, requests=args.requests)
+    result = system.run()
+    paths = system.dump_trace(args.out)
+
+    breakdown = result.collector.all
+    split = three_way_ns(result.collector.segments, result.transactions)
+    print(
+        f"{result.config_label} / {result.workload}: "
+        f"{result.transactions} transactions, "
+        f"runtime {result.runtime_ns / 1000.0:.2f} us"
+    )
+    print(
+        f"latency mean {breakdown.total_ns:.1f} ns "
+        f"(to={split['to_memory']:.1f} in={split['in_memory']:.1f} "
+        f"from={split['from_memory']:.1f}), "
+        f"p95 {result.p95_latency_ns:.1f} ns, "
+        f"p99 {result.p99_latency_ns:.1f} ns"
+    )
+    print()
+    print(
+        render_table(
+            ["segment", "ns/txn", "mean", "p50", "p95", "p99"],
+            segment_table_rows(result.collector.segments, result.transactions),
+            title="Per-hop latency attribution (* = percentile clamped "
+            "to observed max)",
+        )
+    )
+
+    summary = system.tracer.summary(result.runtime_ps)
+    utilization = summary["link_utilization"]
+    peaks = summary["queue_peak_depth"]
+    rows = [
+        [name, f"{utilization[name] * 100.0:6.1f}%", summary["link_packets"][name]]
+        for name in utilization
+    ]
+    print()
+    print(render_table(["link", "utilization", "packets"], rows))
+    if peaks:
+        busiest = sorted(peaks.items(), key=lambda kv: -kv[1])[:8]
+        print()
+        print(
+            render_table(
+                ["queue", "peak depth"],
+                [[name, depth] for name, depth in busiest],
+                title="Deepest input queues",
+            )
+        )
+    print()
+    print(
+        f"trace: {summary['events_retained']} events retained "
+        f"({summary['events_dropped']} evicted from ring of "
+        f"{summary['ring_capacity']})"
+    )
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -150,3 +150,70 @@ def test_run_returns_processed_count():
     for t in range(4):
         engine.schedule(t, lambda eng: None)
     assert engine.run() == 4
+
+
+def test_stop_when_combined_with_until():
+    # The predicate must win even when a time bound is also active.
+    engine = Engine()
+    fired = []
+    for t in range(10):
+        engine.schedule(t, lambda eng: fired.append(eng.now))
+    engine.run(until=100, stop_when=lambda: len(fired) >= 2)
+    assert fired == [0, 1]
+    assert engine.pending == 8
+    # the clock stays at the stopping event, not the until bound
+    assert engine.now == 1
+
+
+def test_until_combined_with_stop_when_that_never_fires():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, lambda eng: fired.append(5))
+    engine.schedule(50, lambda eng: fired.append(50))
+    engine.run(until=10, stop_when=lambda: False)
+    assert fired == [5]
+    assert engine.now == 10
+    assert engine.pending == 1
+
+
+def test_max_events_counts_events_before_raise():
+    # The events that ran before the limit tripped must still be
+    # reflected in events_processed (no double count, no loss).
+    engine = Engine()
+
+    def rescheduling(eng):
+        eng.schedule(1, rescheduling)
+
+    engine.schedule(0, rescheduling)
+    with pytest.raises(SimulationError, match="event limit"):
+        engine.run(max_events=7)
+    assert engine.events_processed == 7
+
+
+def test_max_events_accumulates_across_successful_runs():
+    engine = Engine()
+    for t in range(3):
+        engine.schedule(t, lambda eng: None)
+    engine.run(max_events=100)
+    assert engine.events_processed == 3
+    for t in range(2):
+        engine.schedule(engine.now + 1 + t, lambda eng: None)
+    engine.run(max_events=100)
+    assert engine.events_processed == 5
+
+
+def test_run_until_in_past_does_not_rewind_clock():
+    engine = Engine()
+    engine.schedule(20, lambda eng: None)
+    engine.run()
+    assert engine.now == 20
+    engine.run(until=5)
+    assert engine.now == 20
+
+
+def test_run_until_empty_queue_repeated():
+    engine = Engine()
+    engine.run(until=10)
+    engine.run(until=30)
+    assert engine.now == 30
+    assert engine.events_processed == 0

@@ -101,6 +101,72 @@ class TestHistogram:
         with pytest.raises(ValueError):
             hist.percentile(0.0)
 
+    def test_negative_values_count_as_underflow(self):
+        # int() truncates toward zero, so without the explicit underflow
+        # counter every value in (-width, 0) would alias into bucket 0.
+        hist = Histogram(bucket_width=10, num_buckets=4)
+        hist.add(-0.5)
+        hist.add(-25)
+        hist.add(3)
+        assert hist.underflow == 2
+        assert hist.buckets == [1, 0, 0, 0]
+        assert hist.count == 3
+
+    def test_percentile_in_underflow_clamps_to_min(self):
+        hist = Histogram(bucket_width=10, num_buckets=4)
+        hist.add(-7)
+        hist.add(-3)
+        hist.add(5)
+        value, clamped = hist.percentile_detail(0.5)
+        assert value == -7.0  # clamped to the observed minimum
+        assert clamped is True
+
+    def test_percentile_in_overflow_clamps_to_max(self):
+        hist = Histogram(bucket_width=10, num_buckets=2)
+        hist.add(5)
+        hist.add(500)
+        hist.add(900)
+        value, clamped = hist.percentile_detail(1.0)
+        assert value == 900.0
+        assert clamped is True
+        # the in-range percentile is untouched by the clamp logic
+        value, clamped = hist.percentile_detail(0.3)
+        assert value == 5.0
+        assert clamped is False
+
+    def test_percentile_detail_in_range_not_clamped(self):
+        hist = Histogram(bucket_width=10, num_buckets=10)
+        for value in range(100):
+            hist.add(value)
+        value, clamped = hist.percentile_detail(0.5)
+        assert clamped is False
+        assert value == pytest.approx(45.0, abs=10)
+
+    def test_merge_matches_sequential(self):
+        a = Histogram(bucket_width=10, num_buckets=4)
+        b = Histogram(bucket_width=10, num_buckets=4)
+        c = Histogram(bucket_width=10, num_buckets=4)
+        for value in (-5, 3, 15, 99):
+            a.add(value)
+            c.add(value)
+        for value in (7, 200, -1):
+            b.add(value)
+            c.add(value)
+        a.merge(b)
+        assert a.buckets == c.buckets
+        assert a.underflow == c.underflow
+        assert a.overflow == c.overflow
+        assert a.count == c.count
+        assert a.stat.mean == pytest.approx(c.stat.mean)
+        assert a.stat.min == c.stat.min and a.stat.max == c.stat.max
+
+    def test_merge_shape_mismatch_rejected(self):
+        base = Histogram(bucket_width=10, num_buckets=4)
+        with pytest.raises(ValueError, match="different shapes"):
+            base.merge(Histogram(bucket_width=5, num_buckets=4))
+        with pytest.raises(ValueError, match="different shapes"):
+            base.merge(Histogram(bucket_width=10, num_buckets=8))
+
 
 class TestStatsRegistry:
     def test_counters(self):
@@ -126,3 +192,19 @@ class TestStatsRegistry:
         assert flat["a"] == 1
         assert flat["b.mean"] == 1.0
         assert flat["b.count"] == 1
+
+    def test_as_dict_detects_counter_stat_collision(self):
+        # A counter literally named "lat.mean" would silently be
+        # overwritten by the stat's derived key; as_dict must refuse.
+        reg = StatsRegistry()
+        reg.count("lat.mean")
+        reg.record("lat", 4.0)
+        with pytest.raises(ValueError, match="key collision"):
+            reg.as_dict()
+
+    def test_as_dict_count_key_collision(self):
+        reg = StatsRegistry()
+        reg.count("lat.count", 2)
+        reg.record("lat", 4.0)
+        with pytest.raises(ValueError, match="lat.count"):
+            reg.as_dict()
