@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.ras.plan import FaultPlan
 from repro.units import BYTE, GIB_BYTES, TIB_BYTES, ns
 
 
@@ -372,6 +373,10 @@ class SystemConfig:
     # fails loudly if a cube becomes unreachable (chains cannot tolerate
     # failures; rings and skip-lists can).
     failed_links: Tuple[Tuple[int, int], ...] = ()
+    # Runtime fault plan (repro.ras): transient link bit errors with
+    # retry-buffer replay and permanent failures scheduled *mid-run*,
+    # which degrade gracefully instead of raising.  Default off.
+    ras: FaultPlan = field(default_factory=FaultPlan)
     # Fraction of transactions excluded from latency/energy statistics
     # as cache/queue warm-up (they are still simulated and still count
     # toward runtime).
@@ -391,11 +396,9 @@ class SystemConfig:
             raise ConfigError("capacity_scale must be positive")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ConfigError("warmup_fraction must be in [0, 1)")
-        for pair in self.failed_links:
-            if len(pair) != 2:
-                raise ConfigError(f"failed link {pair!r} must be a node pair")
         self.link.validate()
         self.obs.validate()
+        self.ras.validate()
         self.packet.validate()
         self.cube.validate()
         self.host.validate()
@@ -403,6 +406,53 @@ class SystemConfig:
         self.nvm.validate()
         # the per-port capacity must decompose into whole cubes
         self.cube_counts()
+        self._validate_failed_links()
+
+    def _validate_failed_links(self) -> None:
+        """Structural checks on ``failed_links`` and the RAS fault plan.
+
+        Runs after :meth:`cube_counts` so the node-id range is known:
+        node 0 is the host, cubes are 1..N, and MetaCube interface-chip
+        switches follow the cubes.
+        """
+        max_node = self.cubes_per_port
+        if self.topology == TOPOLOGY_METACUBE:
+            arity = max(self.metacube_arity, 1)
+            max_node += -(-self.cubes_per_port // arity)  # switch count
+        seen = set()
+        for pair in self.failed_links:
+            if len(pair) != 2:
+                raise ConfigError(f"failed link {pair!r} must be a node pair")
+            a, b = pair
+            for node in (a, b):
+                if not isinstance(node, int):
+                    raise ConfigError(
+                        f"failed link {pair!r}: endpoints must be node ids"
+                    )
+                if not 0 <= node <= max_node:
+                    raise ConfigError(
+                        f"failed link {pair!r}: node {node} is out of range "
+                        f"(this topology has nodes 0..{max_node})"
+                    )
+            if a == b:
+                raise ConfigError(f"failed link {pair!r} is a self-loop")
+            key = frozenset((a, b))
+            if key in seen:
+                raise ConfigError(f"duplicate failed link {a}-{b}")
+            seen.add(key)
+        for a, b, _time in self.ras.link_failures:
+            for node in (a, b):
+                if node > max_node:
+                    raise ConfigError(
+                        f"ras: link failure {a}-{b}: node {node} is out of "
+                        f"range (this topology has nodes 0..{max_node})"
+                    )
+        for cube, _time in self.ras.cube_failures:
+            if cube > self.cubes_per_port:
+                raise ConfigError(
+                    f"ras: cube failure {cube}: this topology has cubes "
+                    f"1..{self.cubes_per_port}"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -459,6 +509,10 @@ class SystemConfig:
     def with_obs(self, **changes) -> "SystemConfig":
         """Return a copy with observability fields replaced."""
         return replace(self, obs=replace(self.obs, **changes))
+
+    def with_ras(self, **changes) -> "SystemConfig":
+        """Return a copy with fault-plan (RAS) fields replaced."""
+        return replace(self, ras=replace(self.ras, **changes))
 
 
 _LABEL_RE = re.compile(

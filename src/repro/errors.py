@@ -25,3 +25,7 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification or trace is invalid."""
+
+
+class RunnerError(ReproError):
+    """A batch job failed to execute (worker crash, timeout, bad job)."""

@@ -9,6 +9,7 @@ from repro.experiments import (
     ablation_arbiters,
     ablation_buffers,
     ablation_interleave,
+    ablation_ras,
     ablation_ratio,
     ablation_serdes,
     ablation_window,
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
     "fig15": fig15.run,
     "ablation_arbiters": ablation_arbiters.run,
     "ablation_interleave": ablation_interleave.run,
+    "ablation_ras": ablation_ras.run,
     "ablation_serdes": ablation_serdes.run,
     "ablation_ratio": ablation_ratio.run,
     "ablation_window": ablation_window.run,

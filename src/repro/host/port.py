@@ -76,6 +76,17 @@ class HostPort:
         self.issued = 0
         self.completed = 0
         self.generated = 0
+        # RAS: requests failed as host-level errors (dest cube became
+        # unreachable after a permanent failure) and responses that beat
+        # the failure across the cut after their transaction was already
+        # errored (conservatively ignored; see docs/ras.md).
+        self.failed = 0
+        self.late_responses = 0
+        self._degraded = False
+        # Only runs with scheduled permanent failures pay for tracking
+        # in-network transactions (needed to error them on reroute).
+        self._track_outstanding = config.ras.has_permanent_failures
+        self._outstanding_txns = set()
         # observability: transactions born at this port carry segment
         # lists only when attribution is on (repro.obs)
         self._attribution = config.obs.attribution
@@ -167,6 +178,11 @@ class HostPort:
             if index is None:
                 return  # everything pending is blocked or out of room
             txn = self.pending.pop(index)
+            if self._degraded and not self.route_table.is_reachable(
+                txn.dest_cube, self._reach_class_for(txn)
+            ):
+                self._fail_unissued(engine, txn)
+                continue
             txn.start_ps = engine.now
             if not txn.is_write:
                 txn.read_seq = self._read_seq
@@ -180,6 +196,8 @@ class HostPort:
                 self.outstanding_writes += 1
             else:
                 self.outstanding_reads += 1
+            if self._track_outstanding:
+                self._outstanding_txns.add(txn)
             engine.schedule(self.config.host.port_latency_ps, self._reach_port, txn)
 
     def _reach_port(self, engine: Engine, txn: Transaction) -> None:
@@ -188,7 +206,10 @@ class HostPort:
 
     def _pump(self, engine: Engine) -> None:
         while self._at_port and self.inject_queue.has_space():
-            self._inject(engine, self._at_port.popleft())
+            txn = self._at_port.popleft()
+            if txn.failed:
+                continue  # errored by a topology change while queued here
+            self._inject(engine, txn)
 
     def _inject(self, engine: Engine, txn: Transaction) -> None:
         txn.inject_ps = engine.now
@@ -216,20 +237,48 @@ class HostPort:
             return RouteClass.READ
         return RouteClass.WRITE
 
+    @staticmethod
+    def _reach_class_for(txn: Transaction) -> RouteClass:
+        """The class whose reachability decides a transaction's fate.
+
+        Writes must complete over the WRITE class regardless of burst
+        mode: the acknowledgment always routes (and a mid-run reroute
+        always re-paths write-class packets) over the strict write
+        adjacency, so a cube only write-reachable via skip links counts
+        as unreachable for writes — the skip-list WRITE-class error case.
+        """
+        return RouteClass.WRITE if txn.is_write else RouteClass.READ
+
     # -- completion --------------------------------------------------------------
     def on_response(self, engine: Engine, packet: Packet) -> None:
         txn = packet.transaction
         if txn is None:
             raise WorkloadError("response packet without a transaction")
+        if txn.failed:
+            # The response crossed the cut just before the failure hit;
+            # the transaction was already errored (its slot/directory
+            # state is long released), so the late data is dropped.
+            self.late_responses += 1
+            return
         txn.response_hops = packet.hops_traversed
         # the response still has to cross the chip back to the core
         engine.schedule(self.config.host.port_latency_ps, self._complete, txn)
 
     def _complete(self, engine: Engine, txn: Transaction) -> None:
+        if txn.failed:
+            self.late_responses += 1
+            return
         txn.complete_ps = engine.now
         if txn.segments is not None:
             seg_start = engine.now - self.config.host.port_latency_ps
             txn.segments.append(("resp.port", seg_start, engine.now))
+        self._release_claims(txn)
+        self.completed += 1
+        self.on_transaction_done(engine, txn)
+        self.try_inject(engine)
+
+    def _release_claims(self, txn: Transaction) -> None:
+        """Free the directory entry and window/store-buffer slot."""
         self.directory.completed(txn.address, txn.is_write)
         if txn.is_write:
             self.outstanding_writes -= 1
@@ -242,8 +291,62 @@ class HostPort:
                 self.outstanding_reads -= 1
         else:
             self.outstanding_reads -= 1
-        self.completed += 1
+        if self._track_outstanding:
+            self._outstanding_txns.discard(txn)
+
+    # -- RAS degradation ---------------------------------------------------------
+    def _fail_common(self, engine: Engine, txn: Transaction) -> None:
+        txn.failed = True
+        txn.complete_ps = engine.now  # the host learns of the error now
+        self.failed += 1
         self.on_transaction_done(engine, txn)
+
+    def _fail_unissued(self, engine: Engine, txn: Transaction) -> None:
+        """Error a transaction that never claimed a slot (still pending)."""
+        self._fail_common(engine, txn)
+
+    def fail_issued(self, engine: Engine, txn: Transaction) -> None:
+        """Error a claimed transaction (at the port or in the network).
+
+        Idempotent: the topology-change sweep and the packet-drop path
+        can both reach the same transaction.
+        """
+        if txn.failed or txn.complete_ps is not None:
+            return
+        self._release_claims(txn)
+        self._fail_common(engine, txn)
+
+    def adopt_route_table(self, route_table: RouteTable) -> None:
+        """A permanent failure rebuilt the routes: adopt the degraded
+        table.  Called *before* the system's quiesce walk so that any
+        injection it triggers already uses live routes — a stale route
+        whose first hop is dead would deadlock the inject queue.
+        """
+        self.route_table = route_table
+        self._degraded = True
+
+    def fail_unreachable(self, engine: Engine) -> None:
+        """Error every transaction whose cube the degraded table cannot
+        reach (counted host-level errors, not latency samples).
+
+        Transactions to still-reachable cubes are untouched — their
+        packets were rerouted by the system's quiesce walk.
+        """
+        still_pending = []
+        for txn in self.pending:
+            if self.route_table.is_reachable(txn.dest_cube, self._reach_class_for(txn)):
+                still_pending.append(txn)
+            else:
+                self._fail_unissued(engine, txn)
+        self.pending = still_pending
+        for txn in list(self._outstanding_txns):
+            if not self.route_table.is_reachable(
+                txn.dest_cube, self._reach_class_for(txn)
+            ):
+                self.fail_issued(engine, txn)
+        # Failed at-port transactions are skipped by _pump; freed slots
+        # may admit pending work immediately.
+        self._pump(engine)
         self.try_inject(engine)
 
     @property
@@ -252,4 +355,4 @@ class HostPort:
 
     @property
     def done(self) -> bool:
-        return self.completed >= self.total_requests
+        return self.completed + self.failed >= self.total_requests

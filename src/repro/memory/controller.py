@@ -145,9 +145,12 @@ class QuadrantController:
         response.source_tech = self.timing.tech.name
         if txn.segments is not None:
             response.obs_mark = engine.now  # inject-stall clock starts here
-        self.route_response(response)
-        self._pending_responses.append(response)
-        self._try_inject(engine)
+        # route_response returns False only when a RAS permanent failure
+        # cut this cube off from the host — the response is then lost
+        # (the host errors the transaction on its side).
+        if self.route_response(response) is not False:
+            self._pending_responses.append(response)
+            self._try_inject(engine)
         self._kick(engine)
 
     # -- response path ---------------------------------------------------------
@@ -166,6 +169,17 @@ class QuadrantController:
 
     def _inject_drained(self, engine: Engine) -> None:
         self._try_inject(engine)
+
+    def sweep_responses(self, keep_or_fix: Callable[[Packet], bool]) -> int:
+        """RAS quiesce: re-path or drop responses queued for injection.
+
+        ``keep_or_fix`` may rewrite a response's route in place; a False
+        return drops it.  Returns the number of responses dropped.
+        """
+        kept = [r for r in self._pending_responses if keep_or_fix(r)]
+        dropped = len(self._pending_responses) - len(kept)
+        self._pending_responses = kept
+        return dropped
 
     # -- wakeups -------------------------------------------------------------
     def _arm_wakeup(self, engine: Engine) -> None:

@@ -48,6 +48,21 @@ class MultiPortResult:
         return sum(result.transactions for result in self.per_port)
 
     @property
+    def requests_failed(self) -> int:
+        """RAS: host-level errors summed across ports."""
+        return sum(result.requests_failed for result in self.per_port)
+
+    @property
+    def availability(self) -> float:
+        """System-wide fraction of requests served (request-weighted)."""
+        served = sum(
+            result.requests_served or result.collector.count
+            for result in self.per_port
+        )
+        total = served + self.requests_failed
+        return served / total if total else 1.0
+
+    @property
     def energy(self) -> EnergyReport:
         merged = EnergyReport()
         for result in self.per_port:

@@ -90,6 +90,34 @@ class InputQueue:
             self.tracer.queue_depth(self.name, now_ps, len(self._items))
         return packet
 
+    def packets(self) -> "tuple":
+        """Snapshot of queued packets, head first (RAS quiesce walk)."""
+        return tuple(self._items)
+
+    def remove(self, victims) -> int:
+        """Drop every queued packet in ``victims`` (RAS quiesce).
+
+        Entry times stay aligned with the surviving packets.  Credit
+        return / ``on_drain`` notification is the caller's job — the
+        system batches those until every queue has been walked, so a
+        freed slot cannot re-enter a queue mid-walk.  Returns the number
+        of packets removed.
+        """
+        if not victims:
+            return 0
+        kept = deque()
+        kept_times = deque()
+        removed = 0
+        for packet, entered in zip(self._items, self._entry_times):
+            if packet in victims:
+                removed += 1
+            else:
+                kept.append(packet)
+                kept_times.append(entered)
+        self._items = kept
+        self._entry_times = kept_times
+        return removed
+
     @property
     def mean_wait_ps(self) -> float:
         """Mean time packets spent waiting in this queue."""

@@ -101,6 +101,10 @@ class Link:
         "bits_carried",
         "busy_ps",
         "tracer",
+        "faults",
+        "replays",
+        "dead",
+        "route_guard",
     )
 
     def __init__(
@@ -133,6 +137,17 @@ class Link:
         self.busy_ps = 0
         # observability (repro.obs): set by the system when tracing is on
         self.tracer = None
+        # RAS (repro.ras): all four stay at their defaults unless a fault
+        # plan is enabled — the zero-overhead-when-off guard.
+        # ``faults`` -> per-link transient-error state (LinkFaultState),
+        # ``dead``   -> permanently failed, accepts no new packets,
+        # ``route_guard(engine, packet, link)`` -> delivery-time check
+        #               that reroutes/drops packets whose remaining route
+        #               crosses a dead edge; returns False to swallow.
+        self.faults = None
+        self.replays = 0
+        self.dead = False
+        self.route_guard = None
         dst_queue.upstream_link = self
 
     # ------------------------------------------------------------------
@@ -148,7 +163,13 @@ class Link:
         return self._credits is None or self._credits > 0
 
     def can_send(self, now_ps: int) -> bool:
-        return self.is_free(now_ps) and self.has_credit()
+        return not self.dead and self.is_free(now_ps) and self.has_credit()
+
+    def fail(self) -> None:
+        """Permanently kill this direction (RAS).  In-flight packets
+        still deliver — the retry buffer drains — but nothing new is
+        accepted: ``can_send`` is False forever after."""
+        self.dead = True
 
     @property
     def credits(self) -> Optional[int]:
@@ -156,31 +177,58 @@ class Link:
 
     # ------------------------------------------------------------------
     def send(self, engine: Engine, packet: Packet) -> None:
-        """Launch a packet; it arrives downstream after ser + SerDes."""
+        """Launch a packet; it arrives downstream after ser + SerDes.
+
+        With a fault plan bound (``faults`` non-None) the traversal may
+        suffer CRC failures: each one replays the packet from the retry
+        buffer, costing one extra serialization plus the retrain
+        penalty.  The channel stays occupied for the whole retry burst
+        and the packet arrives correspondingly later.
+        """
+        if self.dead:
+            raise SimulationError(f"link {self.name} is dead")
         if not self.has_credit():
             raise SimulationError(f"link {self.name} has no credit")
         ser = self.serialization_delay_ps(packet)
-        self.channel.occupy(engine, ser)  # raises if busy
+        occupy_ps = ser
+        retry_ps = 0
+        faults = self.faults
+        if faults is not None:
+            replays = faults.draw_replays(packet.size_bits)
+            if replays:
+                self.replays += replays
+                retry_ps = replays * (ser + faults.retry_penalty_ps)
+                occupy_ps += retry_ps
+        self.channel.occupy(engine, occupy_ps)  # raises if busy
         if self._credits is not None:
             self._credits -= 1
         self.packets_carried += 1
         self.bits_carried += packet.size_bits
-        self.busy_ps += ser
+        self.busy_ps += occupy_ps
         arrival_delay = (
-            ser + self.config.serdes_latency_ps + self.config.propagation_ps
+            occupy_ps + self.config.serdes_latency_ps + self.config.propagation_ps
         )
         txn = packet.transaction
         if txn is not None and txn.segments is not None:
-            prefix = "req.wire." if packet.kind.is_request else "resp.wire."
+            now = engine.now
+            prefix = "req." if packet.kind.is_request else "resp."
+            if retry_ps:
+                # failed attempts first, then the good serialization
+                txn.segments.append((prefix + "retry." + self.name, now, now + retry_ps))
             txn.segments.append(
-                (prefix + self.name, engine.now, engine.now + arrival_delay)
+                (prefix + "wire." + self.name, now + retry_ps, now + arrival_delay)
             )
         if self.tracer is not None:
             self.tracer.link_send(self.name, engine.now, ser, arrival_delay, packet)
+            if retry_ps:
+                self.tracer.link_retry(self.name, engine.now, replays, retry_ps)
         engine.schedule(arrival_delay, self._deliver, packet)
 
     def _deliver(self, engine: Engine, packet: Packet) -> None:
         packet.advance()
+        guard = self.route_guard
+        if guard is not None and not guard(engine, packet, self):
+            return  # RAS: no route survives the failure; the guard dropped it
         self.dst_queue.push(packet, engine.now)
         if self.on_delivery is not None:
             self.on_delivery(engine, self.dst_queue)

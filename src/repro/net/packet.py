@@ -165,6 +165,7 @@ class Transaction:
         "dest_tech",
         "row_hit",
         "read_seq",
+        "failed",
         "segments",
     )
 
@@ -188,6 +189,10 @@ class Transaction:
         self.dest_tech: Optional[str] = None
         self.row_hit: Optional[bool] = None
         self.read_seq: Optional[int] = None  # in-order retirement index
+        # RAS: True once the host failed this transaction (its cube
+        # became unreachable after a permanent failure).  Failed
+        # transactions complete as counted errors, not latency samples.
+        self.failed = False
         # Per-hop latency attribution (repro.obs): ``None`` keeps the hot
         # paths untouched; the host port sets it to ``[]`` when the
         # system's ObsConfig asks for attribution, and every component

@@ -80,13 +80,20 @@ def clear_route_cache() -> None:
 
 
 class RouteTable:
-    """Precomputed host<->cube paths for each traffic class."""
+    """Precomputed host<->cube paths for each traffic class.
+
+    ``allow_unreachable=True`` builds a *degraded* table (the RAS layer
+    rebuilds routes live after a permanent failure): unreachable cubes
+    are simply absent from the path maps, :meth:`is_reachable` reports
+    them, and the distance statistics cover the reachable set only.
+    """
 
     def __init__(
         self,
         adjacency_by_class: Mapping[RouteClass, Mapping[int, Sequence[int]]],
         host_id: int,
         cube_ids: Iterable[int],
+        allow_unreachable: bool = False,
     ) -> None:
         self.host_id = host_id
         self.cube_ids = tuple(sorted(cube_ids))
@@ -95,14 +102,15 @@ class RouteTable:
         for cls, adjacency in adjacency_by_class.items():
             forward = cached_bfs_paths(adjacency, host_id)
             missing = [c for c in self.cube_ids if c not in forward]
-            if missing:
+            if missing and not allow_unreachable:
                 raise RoutingError(
                     f"cubes {missing} unreachable from host for {cls.name} class"
                 )
-            self._to_cube[cls] = {c: forward[c] for c in self.cube_ids}
+            reachable = [c for c in self.cube_ids if c in forward]
+            self._to_cube[cls] = {c: forward[c] for c in reachable}
             # Links are bidirectional pairs, so the reverse path is valid.
             self._to_host[cls] = {
-                c: tuple(reversed(forward[c])) for c in self.cube_ids
+                c: tuple(reversed(forward[c])) for c in reachable
             }
 
     # ------------------------------------------------------------------
@@ -128,14 +136,26 @@ class RouteTable:
         except KeyError:
             raise RoutingError(f"no route from cube {cube_id}") from None
 
+    def is_reachable(self, cube_id: int, cls: RouteClass = RouteClass.READ) -> bool:
+        """True if the table has a path to ``cube_id`` for this class."""
+        return cube_id in self._to_cube[self._class_or_fallback(cls)]
+
+    def reachable_cubes(self, cls: RouteClass = RouteClass.READ) -> Tuple[int, ...]:
+        table = self._to_cube[self._class_or_fallback(cls)]
+        return tuple(c for c in self.cube_ids if c in table)
+
     def distance(self, cube_id: int, cls: RouteClass = RouteClass.READ) -> int:
         """Hop count from the host to ``cube_id`` for a traffic class."""
         return len(self.route_to_cube(cube_id, cls)) - 1
 
     def max_distance(self, cls: RouteClass = RouteClass.READ) -> int:
-        return max(self.distance(c, cls) for c in self.cube_ids)
+        reachable = self.reachable_cubes(cls)
+        if not reachable:
+            return 0
+        return max(self.distance(c, cls) for c in reachable)
 
     def mean_distance(self, cls: RouteClass = RouteClass.READ) -> float:
-        return sum(self.distance(c, cls) for c in self.cube_ids) / len(
-            self.cube_ids
-        )
+        reachable = self.reachable_cubes(cls)
+        if not reachable:
+            return 0.0
+        return sum(self.distance(c, cls) for c in reachable) / len(reachable)

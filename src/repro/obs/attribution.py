@@ -10,12 +10,14 @@ label                         meaning
 ``req.port``                  coherence point -> memory port crossing
 ``req.inject``                wait for injection-queue space at the port
 ``req.queue.<queue>``         router input-queue wait (request path)
+``req.retry.<link>``          CRC-failed traversals replayed (RAS)
 ``req.wire.<link>``           serialization + SerDes + propagation
 ``mem.xbar.<cube>``           wrong-quadrant crossing penalty
 ``mem.queue.<controller>``    controller queue wait
 ``mem.array.<controller>``    bank access (incl. bank-ready wait)
 ``resp.stall.<controller>``   response waits for controller inject space
 ``resp.queue.<queue>``        router input-queue wait (response path)
+``resp.retry.<link>``         CRC-failed traversals replayed (RAS)
 ``resp.wire.<link>``          link traversal (response path)
 ``resp.port``                 memory port -> core crossing
 ============================  =============================================

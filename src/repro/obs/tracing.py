@@ -35,6 +35,8 @@ QUEUE = "queue"
 GRANT = "grant"
 MEM = "mem"
 ENGINE = "engine"
+RETRY = "retry"
+FAULT = "fault"
 
 
 class TraceRecorder:
@@ -51,6 +53,10 @@ class TraceRecorder:
         self.link_bits: Dict[str, int] = {}
         self.link_packets: Dict[str, int] = {}
         self.queue_peak: Dict[str, int] = {}
+        # RAS aggregates (repro.ras): per-link CRC replay counts and the
+        # permanent failures the run suffered, never evicted.
+        self.link_replays: Dict[str, int] = {}
+        self.failures: List[Tuple[int, int, int]] = []  # (ts, a, b)
         self.last_ts = 0
 
     # -- emission hooks (called from component hot paths when tracing) ----
@@ -103,6 +109,19 @@ class TraceRecorder:
         """One engine event dispatch (only with trace_engine_events)."""
         self._emit((now_ps, ENGINE, callback_name))
 
+    def link_retry(
+        self, name: str, now_ps: int, replays: int, retry_ps: int
+    ) -> None:
+        """CRC-failed traversals replayed from a link's retry buffer."""
+        tally = self.link_replays
+        tally[name] = tally.get(name, 0) + replays
+        self._emit((now_ps, RETRY, name, replays, retry_ps))
+
+    def ras_failure(self, now_ps: int, a: int, b: int) -> None:
+        """A scheduled permanent failure killed edge (a, b)."""
+        self.failures.append((now_ps, a, b))
+        self._emit((now_ps, FAULT, a, b))
+
     # -- views ------------------------------------------------------------
     @property
     def dropped(self) -> int:
@@ -138,6 +157,8 @@ class TraceRecorder:
             "link_bits": dict(sorted(self.link_bits.items())),
             "link_packets": dict(sorted(self.link_packets.items())),
             "queue_peak_depth": dict(sorted(self.queue_peak.items())),
+            "link_replays": dict(sorted(self.link_replays.items())),
+            "link_failures": [list(entry) for entry in self.failures],
         }
 
     # -- dumps -------------------------------------------------------------
@@ -163,6 +184,10 @@ class TraceRecorder:
             )
         elif kind == ENGINE:
             record.update(callback=event[2])
+        elif kind == RETRY:
+            record.update(link=event[2], replays=event[3], retry_ps=event[4])
+        elif kind == FAULT:
+            record.update(a=event[2], b=event[3])
         return record
 
     def write_jsonl(
@@ -248,6 +273,25 @@ class TraceRecorder:
                     {
                         "ph": "i", "s": "g", "cat": "engine",
                         "name": event[2], "pid": 0, "tid": tid("engine"),
+                        "ts": ts_us,
+                    }
+                )
+            elif kind == RETRY:
+                events.append(
+                    {
+                        "ph": "X", "cat": "retry",
+                        "name": f"retry x{event[3]}",
+                        "pid": 0, "tid": tid(f"link {event[2]}"),
+                        "ts": ts_us, "dur": event[4] / 1e6,
+                        "args": {"replays": event[3]},
+                    }
+                )
+            elif kind == FAULT:
+                events.append(
+                    {
+                        "ph": "i", "s": "g", "cat": "fault",
+                        "name": f"link {event[2]}<->{event[3]} failed",
+                        "pid": 0, "tid": tid("ras"),
                         "ts": ts_us,
                     }
                 )

@@ -1,0 +1,15 @@
+"""RAS: runtime fault injection, link retry, graceful degradation.
+
+The paper removes failed links *before* routes are computed (its
+footnote 3; our ``failed_links`` config).  This package adds the runtime
+half: seed-derived transient CRC errors with retry-buffer replay on
+SerDes links, and scheduled permanent link/cube failures the system
+survives by re-routing live — or, where the topology cannot reach a
+cube any more, by failing the affected requests as counted host-level
+errors and reporting availability on the result.  See ``docs/ras.md``.
+"""
+
+from repro.ras.injector import FaultInjector, LinkFaultState
+from repro.ras.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan", "LinkFaultState"]

@@ -1,0 +1,140 @@
+"""Fault plans: the configuration side of the RAS layer.
+
+A :class:`FaultPlan` describes every fault a run will experience — it is
+part of :class:`repro.config.SystemConfig` (the ``ras`` field) and hence
+of the job content digest, so faulty runs cache and reproduce exactly
+like healthy ones.  Two fault families exist:
+
+* **transient bit errors** on SerDes links: each traversal flips a coin
+  per bit (``bit_error_rate``, optionally overridden per edge); a failed
+  CRC triggers a retry-buffer replay costing one extra serialization
+  plus ``retry_penalty_ps`` (the HMC-style link retrain penalty),
+* **permanent failures** at a scheduled simulated time: a link (or a
+  whole cube, which kills all its links) dies mid-run and the system
+  degrades instead of crashing — see ``docs/ras.md``.
+
+Everything defaults to *off*; a default plan adds zero hot-path cost
+(the link's ``faults`` slot stays ``None``) and leaves results
+bit-identical to a build without this module.
+
+This module deliberately imports only :mod:`repro.errors` and
+:mod:`repro.units` so :mod:`repro.config` can depend on it without
+cycles; the runtime machinery lives in :mod:`repro.ras.injector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigError
+from repro.units import ns
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, seed-derived fault schedule for one simulation."""
+
+    #: Per-bit transient error probability on every *external* SerDes
+    #: link (interposer wires inside a MetaCube carry no SerDes and are
+    #: exempt unless listed in ``link_error_rates``).
+    bit_error_rate: float = 0.0
+    #: Per-edge overrides: ``(node_a, node_b, bit_error_rate)``.  The
+    #: pair is undirected and overrides the global rate for both
+    #: directions (a zero silences one edge of a noisy plan).
+    link_error_rates: Tuple[Tuple[int, int, float], ...] = ()
+    #: Extra cost of one replay beyond the repeated serialization: the
+    #: retry buffer rewinds and the lanes retrain (HMC-style).
+    retry_penalty_ps: int = ns(8.0)
+    #: Replay attempts drawn per traversal are capped here so a
+    #: pathological error rate cannot livelock a link.
+    max_replays: int = 8
+    #: Scheduled permanent link failures: ``(node_a, node_b, time_ps)``.
+    #: At ``time_ps`` the (undirected) edge dies: in-flight packets on it
+    #: still deliver, then the edge carries nothing ever again.
+    link_failures: Tuple[Tuple[int, int, int], ...] = ()
+    #: Scheduled permanent cube failures: ``(cube_id, time_ps)``.  All
+    #: edges incident to the cube die at once.
+    cube_failures: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        """True if this plan can perturb a run at all."""
+        return bool(
+            self.bit_error_rate > 0.0
+            or self.link_error_rates
+            or self.link_failures
+            or self.cube_failures
+        )
+
+    @property
+    def has_permanent_failures(self) -> bool:
+        return bool(self.link_failures or self.cube_failures)
+
+    def validate(self) -> None:
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ConfigError("ras: bit_error_rate must be in [0, 1)")
+        if self.retry_penalty_ps < 0:
+            raise ConfigError("ras: retry_penalty_ps cannot be negative")
+        if self.max_replays < 1:
+            raise ConfigError("ras: max_replays must be at least 1")
+        seen_rates = set()
+        for entry in self.link_error_rates:
+            if len(entry) != 3:
+                raise ConfigError(
+                    f"ras: link error rate {entry!r} must be (a, b, rate)"
+                )
+            a, b, rate = entry
+            _check_edge("link error rate", a, b)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"ras: edge {a}-{b} rate must be in [0, 1)")
+            key = frozenset((a, b))
+            if key in seen_rates:
+                raise ConfigError(f"ras: duplicate error rate for edge {a}-{b}")
+            seen_rates.add(key)
+        seen_failures = set()
+        for entry in self.link_failures:
+            if len(entry) != 3:
+                raise ConfigError(
+                    f"ras: link failure {entry!r} must be (a, b, time_ps)"
+                )
+            a, b, time_ps = entry
+            _check_edge("link failure", a, b)
+            if not isinstance(time_ps, int) or time_ps < 0:
+                raise ConfigError(
+                    f"ras: link failure time {time_ps!r} must be a "
+                    "non-negative integer (picoseconds)"
+                )
+            key = frozenset((a, b))
+            if key in seen_failures:
+                raise ConfigError(f"ras: duplicate link failure {a}-{b}")
+            seen_failures.add(key)
+        seen_cubes = set()
+        for entry in self.cube_failures:
+            if len(entry) != 2:
+                raise ConfigError(
+                    f"ras: cube failure {entry!r} must be (cube_id, time_ps)"
+                )
+            cube, time_ps = entry
+            if not isinstance(cube, int) or cube < 1:
+                raise ConfigError(
+                    f"ras: cube failure id {cube!r} must be a cube node id (>= 1)"
+                )
+            if not isinstance(time_ps, int) or time_ps < 0:
+                raise ConfigError(
+                    f"ras: cube failure time {time_ps!r} must be a "
+                    "non-negative integer (picoseconds)"
+                )
+            if cube in seen_cubes:
+                raise ConfigError(f"ras: duplicate cube failure {cube}")
+            seen_cubes.add(cube)
+
+
+def _check_edge(what: str, a: object, b: object) -> None:
+    for node in (a, b):
+        if not isinstance(node, int) or node < 0:
+            raise ConfigError(
+                f"ras: {what} endpoint {node!r} must be a non-negative node id"
+            )
+    if a == b:
+        raise ConfigError(f"ras: {what} {a}-{b} is a self-loop")

@@ -222,6 +222,12 @@ class SimResult:
     stalled_reads: int = 0
     burst_mode_toggles: int = 0
     events_processed: int = 0
+    # RAS: requests errored at the host because a permanent failure made
+    # their cube unreachable, and requests served end-to-end including
+    # warm-up (the collector only holds post-warm-up samples).  Healthy
+    # runs report failed=0 and availability 1.0.
+    requests_failed: int = 0
+    requests_served: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- headline metrics ----------------------------------------------------
@@ -232,6 +238,13 @@ class SimResult:
     @property
     def transactions(self) -> int:
         return self.collector.count
+
+    @property
+    def availability(self) -> float:
+        """Fraction of issued requests served (1.0 for healthy runs)."""
+        served = self.requests_served or self.collector.count
+        total = served + self.requests_failed
+        return served / total if total else 1.0
 
     @property
     def mean_latency_ns(self) -> float:

@@ -19,6 +19,7 @@ from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.runner.job import SimJob, canonical_tree, digest_tree
 from repro.runner.pool import (
     JOBS_ENV,
+    JobFailure,
     ParallelRunner,
     configure_runner,
     default_jobs,
@@ -31,6 +32,7 @@ from repro.runner.pool import (
 __all__ = [
     "CACHE_DIR_ENV",
     "JOBS_ENV",
+    "JobFailure",
     "ParallelRunner",
     "ResultCache",
     "SimJob",

@@ -26,7 +26,8 @@ from repro.workloads import WorkloadSpec
 #: Salt folded into every job digest.  Bump when the simulator's
 #: behaviour changes in a way that invalidates previously cached results
 #: (the config/workload schema itself is already part of the digest).
-JOB_DIGEST_VERSION = "repro-job-v1"
+#: v2: RAS fault layer (FaultPlan in SystemConfig, availability fields).
+JOB_DIGEST_VERSION = "repro-job-v2"
 
 
 def canonical_tree(value: Any) -> Any:

@@ -13,6 +13,22 @@ config's root seed (see :func:`repro.sim.derive_seed`), so serial and
 parallel execution produce bit-identical results; the determinism tests
 assert this via :func:`repro.serialization.result_digest`.
 
+Robustness (the RAS PR's runner hardening):
+
+* every completed job is written to the cache *immediately*, so a sweep
+  killed half-way resumes from the cached partials — only uncached jobs
+  re-run;
+* a crashed worker (``BrokenProcessPool``) respawns the pool and retries
+  the in-flight jobs once (with backoff) instead of aborting the batch;
+* ``job_timeout_s`` arms a watchdog: a job that exceeds it has its pool
+  torn down (hung workers are terminated), innocent in-flight jobs are
+  requeued, and the overdue job becomes a structured failure;
+* ``run(batch, on_error="collect")`` converts failures into
+  :class:`JobFailure` rows aligned with the input order rather than
+  losing the rest of the batch; the default ``on_error="raise"`` still
+  raises, as a :class:`repro.errors.RunnerError` carrying the failing
+  job's digest and config summary.
+
 A module-level *ambient* runner lets high-level entry points
 (:func:`repro.system.simulate`, :class:`repro.sweep.Sweep`,
 :class:`repro.analysis.speedup.SpeedupGrid`) share one cache and one
@@ -25,15 +41,29 @@ from __future__ import annotations
 
 import contextlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.errors import RunnerError
 from repro.results import SimResult
 from repro.runner.cache import ResultCache
 from repro.runner.job import SimJob
 
 #: Environment override for the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Extra attempts granted to jobs whose worker pool broke under them.
+POOL_RETRIES = 1
+
+#: Backoff before respawning a broken pool (seconds, scaled by attempt).
+POOL_RESPAWN_BACKOFF_S = 0.25
+
+_warned_bad_jobs_env = False
 
 
 def default_jobs() -> int:
@@ -43,7 +73,15 @@ def default_jobs() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            global _warned_bad_jobs_env
+            if not _warned_bad_jobs_env:
+                _warned_bad_jobs_env = True
+                warnings.warn(
+                    f"ignoring unparseable {JOBS_ENV}={env!r} "
+                    "(expected an integer); running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return 1
 
 
@@ -56,6 +94,44 @@ def execute_job(job: SimJob) -> SimResult:
     ).run()
 
 
+@dataclass
+class JobFailure:
+    """Structured record of a job that could not produce a result.
+
+    ``kind`` is ``"exception"`` (the simulation raised), ``"timeout"``
+    (exceeded ``job_timeout_s``), or ``"pool"`` (its worker pool broke
+    repeatedly).  Returned in place of a :class:`SimResult` by
+    ``run(..., on_error="collect")``.
+    """
+
+    digest: str
+    label: str
+    error: str
+    kind: str = "exception"
+    attempts: int = 1
+
+    def to_error(self) -> RunnerError:
+        return RunnerError(
+            f"job {self.label} (digest {self.digest[:12]}) failed "
+            f"[{self.kind}, {self.attempts} attempt(s)]: {self.error}"
+        )
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a pool, reclaiming hung workers.
+
+    ``shutdown(wait=False)`` alone would leave a stuck worker joined at
+    interpreter exit; terminating the processes is the only way to take
+    back a job that will never finish.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    try:  # private, but there is no public kill switch
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+    except Exception:  # pragma: no cover - best-effort cleanup
+        pass
+
+
 class ParallelRunner:
     """Cache-aware, deduplicating batch executor for simulation jobs."""
 
@@ -63,21 +139,40 @@ class ParallelRunner:
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        job_timeout_s: Optional[float] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         # A fresh memory-only cache when none is shared in; callers that
         # want cross-runner reuse pass the ambient runner's cache.
         self.cache = ResultCache() if cache is None else cache
+        # Watchdog ceiling per job; only enforceable with worker
+        # processes (the serial path cannot preempt itself).
+        self.job_timeout_s = job_timeout_s
         self.simulations_run = 0
 
     # ------------------------------------------------------------------
     def run_one(self, job: SimJob) -> SimResult:
         return self.run([job])[0]
 
-    def run(self, batch: Sequence[SimJob]) -> List[SimResult]:
-        """Execute a batch; returns results aligned with the input order."""
+    def run(
+        self,
+        batch: Sequence[SimJob],
+        on_error: str = "raise",
+    ) -> List[Union[SimResult, JobFailure]]:
+        """Execute a batch; returns results aligned with the input order.
+
+        Completed jobs hit the cache the moment they finish — an
+        interrupted batch leaves its partial results behind as a
+        checkpoint.  With ``on_error="collect"`` failed jobs yield
+        :class:`JobFailure` rows; with the default ``"raise"`` the whole
+        batch still executes (checkpointing the successes), then the
+        first failure in input order is raised as a
+        :class:`~repro.errors.RunnerError`.
+        """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be 'raise' or 'collect', not {on_error!r}")
         digests = [job.digest() for job in batch]
-        results: Dict[str, SimResult] = {}
+        results: Dict[str, Union[SimResult, JobFailure, None]] = {}
         pending: List[SimJob] = []
         for job, digest in zip(batch, digests):
             if digest in results:
@@ -89,19 +184,170 @@ class ParallelRunner:
                 results[digest] = None  # reserve slot, keep first occurrence
                 pending.append(job)
         if pending:
-            for job, result in zip(pending, self._execute(pending)):
-                digest = job.digest()
-                results[digest] = result
-                self.cache.put(digest, result)
-            self.simulations_run += len(pending)
-        return [results[digest] for digest in digests]
+            self._execute(pending, results)
+            self.simulations_run += sum(
+                1 for job in pending if isinstance(results[job.digest()], SimResult)
+            )
+        out: List[Union[SimResult, JobFailure]] = []
+        for digest in digests:
+            value = results[digest]
+            if isinstance(value, JobFailure) and on_error == "raise":
+                raise value.to_error()
+            out.append(value)
+        return out
 
-    def _execute(self, pending: List[SimJob]) -> List[SimResult]:
+    # ------------------------------------------------------------------
+    def _complete(
+        self,
+        results: Dict[str, Union[SimResult, JobFailure, None]],
+        job: SimJob,
+        result: SimResult,
+    ) -> None:
+        """Record a success and checkpoint it to the cache immediately."""
+        digest = job.digest()
+        results[digest] = result
+        self.cache.put(digest, result)
+
+    @staticmethod
+    def _fail(
+        results: Dict[str, Union[SimResult, JobFailure, None]],
+        job: SimJob,
+        error: str,
+        kind: str,
+        attempts: int,
+    ) -> None:
+        results[job.digest()] = JobFailure(
+            digest=job.digest(),
+            label=job.label(),
+            error=error,
+            kind=kind,
+            attempts=attempts,
+        )
+
+    def _execute(
+        self,
+        pending: List[SimJob],
+        results: Dict[str, Union[SimResult, JobFailure, None]],
+    ) -> None:
         workers = min(self.jobs, len(pending))
         if workers <= 1:
-            return [execute_job(job) for job in pending]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_job, pending))
+            for job in pending:
+                try:
+                    result = execute_job(job)
+                except Exception as exc:  # noqa: BLE001 - reported per job
+                    self._fail(results, job, f"{type(exc).__name__}: {exc}",
+                               "exception", 1)
+                else:
+                    self._complete(results, job, result)
+            return
+        self._execute_parallel(pending, results, workers)
+
+    def _execute_parallel(
+        self,
+        pending: List[SimJob],
+        results: Dict[str, Union[SimResult, JobFailure, None]],
+        workers: int,
+    ) -> None:
+        queue = deque(pending)
+        attempts: Dict[str, int] = {job.digest(): 0 for job in pending}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        running: Dict[object, tuple] = {}  # future -> (job, start_monotonic)
+        try:
+            while queue or running:
+                while queue and len(running) < workers:
+                    job = queue.popleft()
+                    attempts[job.digest()] += 1
+                    future = pool.submit(execute_job, job)
+                    running[future] = (job, time.monotonic())
+                timeout = None
+                if self.job_timeout_s is not None:
+                    deadline = min(
+                        start + self.job_timeout_s for _, start in running.values()
+                    )
+                    timeout = max(deadline - time.monotonic(), 0.0)
+                done, _ = wait(
+                    set(running), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    pool = self._reap_overdue(pool, workers, running, queue,
+                                              attempts, results)
+                    continue
+                broken = False
+                for future in done:
+                    job, _start = running.pop(future)
+                    digest = job.digest()
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        if attempts[digest] <= POOL_RETRIES:
+                            queue.append(job)
+                        else:
+                            self._fail(
+                                results, job,
+                                "worker pool broke (worker died mid-job)",
+                                "pool", attempts[digest],
+                            )
+                    except Exception as exc:  # noqa: BLE001 - reported per job
+                        self._fail(results, job, f"{type(exc).__name__}: {exc}",
+                                   "exception", attempts[digest])
+                    else:
+                        self._complete(results, job, result)
+                if broken:
+                    # Every in-flight future is doomed with the pool;
+                    # drain them under the same retry policy, then respawn.
+                    for future, (job, _start) in list(running.items()):
+                        digest = job.digest()
+                        if attempts[digest] <= POOL_RETRIES:
+                            queue.append(job)
+                        else:
+                            self._fail(
+                                results, job,
+                                "worker pool broke (worker died mid-job)",
+                                "pool", attempts[digest],
+                            )
+                    running.clear()
+                    _kill_pool(pool)
+                    time.sleep(POOL_RESPAWN_BACKOFF_S)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            _kill_pool(pool)
+
+    def _reap_overdue(
+        self,
+        pool: ProcessPoolExecutor,
+        workers: int,
+        running: Dict[object, tuple],
+        queue: deque,
+        attempts: Dict[str, int],
+        results: Dict[str, Union[SimResult, JobFailure, None]],
+    ) -> ProcessPoolExecutor:
+        """The watchdog fired: fail overdue jobs, requeue the innocent.
+
+        A hung worker cannot be preempted, so the whole pool is torn
+        down (terminating its processes) and respawned.  Jobs that were
+        merely sharing the pool do not lose an attempt.
+        """
+        now = time.monotonic()
+        for future, (job, start) in list(running.items()):
+            if future.done():
+                continue  # completed while we were deciding; next wait() reaps it
+            digest = job.digest()
+            if now - start >= self.job_timeout_s:
+                # Deterministic simulations do not hang transiently:
+                # retrying would hang again, so time-outs fail outright.
+                self._fail(
+                    results, job,
+                    f"exceeded job timeout of {self.job_timeout_s:g}s",
+                    "timeout", attempts[digest],
+                )
+                del running[future]
+            else:
+                attempts[digest] -= 1  # innocent victim of the teardown
+                queue.append(job)
+                del running[future]
+        _kill_pool(pool)
+        return ProcessPoolExecutor(max_workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -122,6 +368,7 @@ def configure_runner(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     persistent: bool = False,
+    job_timeout_s: Optional[float] = None,
 ) -> ParallelRunner:
     """Replace the ambient runner (used by CLIs and benchmarks).
 
@@ -135,7 +382,9 @@ def configure_runner(
     directory = None
     if persistent:
         directory = cache_dir if cache_dir is not None else default_cache_dir()
-    _ambient = ParallelRunner(jobs=jobs, cache=ResultCache(directory))
+    _ambient = ParallelRunner(
+        jobs=jobs, cache=ResultCache(directory), job_timeout_s=job_timeout_s
+    )
     return _ambient
 
 

@@ -29,7 +29,9 @@ from repro.sim.stats import Histogram, RunningStat
 #: a way that invalidates previously persisted results.
 #: v2: latency-component histograms on every breakdown, per-segment
 #: attribution histograms on the collector (the repro.obs layer).
-RESULT_STATE_VERSION = 2
+#: v3: RAS availability accounting (requests_failed / requests_served)
+#: and fault-injection counters in ``extra`` (the repro.ras layer).
+RESULT_STATE_VERSION = 3
 
 
 def result_to_dict(result: SimResult) -> Dict[str, object]:
@@ -72,6 +74,8 @@ def result_to_dict(result: SimResult) -> Dict[str, object]:
         },
         "stalled_reads": result.stalled_reads,
         "events_processed": result.events_processed,
+        "requests_failed": result.requests_failed,
+        "availability": result.availability,
     }
 
 
@@ -207,6 +211,8 @@ def result_to_state(result: SimResult) -> Dict[str, object]:
         "stalled_reads": result.stalled_reads,
         "burst_mode_toggles": result.burst_mode_toggles,
         "events_processed": result.events_processed,
+        "requests_failed": result.requests_failed,
+        "requests_served": result.requests_served,
         "extra": dict(result.extra),
     }
 
@@ -235,6 +241,8 @@ def result_from_state(state: Dict[str, object]) -> SimResult:
         stalled_reads=state["stalled_reads"],
         burst_mode_toggles=state["burst_mode_toggles"],
         events_processed=state["events_processed"],
+        requests_failed=state.get("requests_failed", 0),
+        requests_served=state.get("requests_served", 0),
         extra=dict(state["extra"]),
     )
 

@@ -25,7 +25,7 @@ from repro.analysis.tables import render_table
 from repro.config import SystemConfig
 from repro.errors import ConfigError
 from repro.results import SimResult
-from repro.runner import ParallelRunner, SimJob, get_runner
+from repro.runner import JobFailure, ParallelRunner, SimJob, get_runner
 from repro.workloads import WorkloadSpec
 
 
@@ -112,9 +112,16 @@ class Sweep:
             )
         runner = get_runner()
         if jobs is not None and jobs != runner.jobs:
-            runner = ParallelRunner(jobs=jobs, cache=runner.cache)
-        for row, result in zip(slots, runner.run(batch)):
-            row.update(_metrics(result))
+            runner = ParallelRunner(
+                jobs=jobs, cache=runner.cache, job_timeout_s=runner.job_timeout_s
+            )
+        # collect mode: a crashed or timed-out point becomes an error row
+        # instead of losing the rest of the sweep.
+        for row, result in zip(slots, runner.run(batch, on_error="collect")):
+            if isinstance(result, JobFailure):
+                row["error"] = f"{result.kind}: {result.error}"
+            else:
+                row.update(_metrics(result))
         return rows
 
     def render(self, rows: Optional[List[Dict[str, Any]]] = None) -> str:

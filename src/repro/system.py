@@ -19,14 +19,15 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tupl
 from repro.arbitration import ArbiterContext, make_arbiter_factory
 from repro.config import SystemConfig
 from repro.energy import EnergyModel
-from repro.errors import SimulationError
+from repro.errors import RoutingError, SimulationError, TopologyError
 from repro.host import AddressMap, HostNode, HostPort
 from repro.memory import MemoryCube
 from repro.net.buffers import InputQueue
 from repro.net.link import Link, SharedChannel
 from repro.net.packet import Packet, PacketKind, Transaction
 from repro.net.router import LinkOutput, Router
-from repro.net.routing import RouteClass, RouteTable
+from repro.net.routing import RouteClass, RouteTable, cached_bfs_paths
+from repro.ras import FaultInjector
 from repro.results import SimResult, TransactionCollector
 from repro.sim import Engine, derive_seed
 from repro.topology import Topology, build_topology
@@ -64,6 +65,7 @@ class MemoryNetworkSystem:
         self._links: List[Tuple[Link, LinkKind]] = []
         self._routers: Dict[int, Router] = {}
         self._link_input_index: Dict[Tuple[int, int], int] = {}
+        self._link_by_pair: Dict[Tuple[int, int], Link] = {}
         self.cubes: Dict[int, MemoryCube] = {}
 
         self._build_routers()
@@ -72,6 +74,13 @@ class MemoryNetworkSystem:
         self._build_address_map()
         self._build_port(workload, requests, workload_iter)
         self.tracer = self._attach_tracer()
+        # RAS (repro.ras): ``_ras`` stays None unless a fault plan is
+        # enabled, keeping every hot-path check a no-op.
+        self._ras: Optional[FaultInjector] = None
+        self._dead_edges: set = set()
+        self._live_adjacency = None
+        self._guarded = False
+        self._attach_ras()
         self._warmup_count = int(requests * config.warmup_fraction)
         self._completed_count = 0
         self._started = False
@@ -153,6 +162,7 @@ class MemoryNetworkSystem:
                 link.sender_has_response_head = self._make_response_peek(
                     src_router, dst
                 )
+                self._link_by_pair[(src, dst)] = link
                 self._links.append((link, edge.link_kind))
 
     @staticmethod
@@ -262,6 +272,186 @@ class MemoryNetworkSystem:
                 controller.tracer = tracer
         return tracer
 
+    def _attach_ras(self) -> None:
+        """Bind the fault plan to the wired network (RAS, repro.ras).
+
+        Touches nothing when the plan is disabled.  Otherwise attaches
+        per-link transient-error state (external links only for the
+        global BER — the interposer is exempt, matching its on-package
+        error characteristics) and schedules the permanent failures.
+        """
+        plan = self.config.ras
+        if not plan.enabled:
+            return
+        self._ras = FaultInjector(plan, self.config.seed)
+        for edge in self.topology.edges:
+            external = edge.link_kind != LinkKind.INTERPOSER
+            for pair in ((edge.a, edge.b), (edge.b, edge.a)):
+                link = self._link_by_pair.get(pair)
+                if link is not None:
+                    self._ras.bind_link(link, pair[0], pair[1], external)
+        self._ras.schedule_failures(
+            self.engine, self._on_link_failure, self._on_cube_failure
+        )
+
+    def _on_link_failure(self, engine: Engine, a: int, b: int) -> None:
+        self._apply_failures(engine, [(a, b)])
+
+    def _on_cube_failure(self, engine: Engine, cube: int) -> None:
+        incident = [
+            (edge.a, edge.b)
+            for edge in self.topology.edges
+            if cube in (edge.a, edge.b)
+        ]
+        self._apply_failures(engine, incident)
+
+    def _apply_failures(self, engine: Engine, pairs) -> None:
+        """Kill the given edges mid-run and degrade gracefully.
+
+        Protocol: (1) mark both link directions dead (in-flight packets
+        still deliver), (2) rebuild the route table over the surviving
+        topology (unreachable cubes allowed), (3) hand the new table to
+        the host *before* anything can inject — stale-routed injections
+        could deadlock behind a dead output, (4) quiesce every queued
+        packet whose remaining route crosses a dead edge (reroute in
+        place, or drop + fail its transaction), (5) fail outstanding and
+        pending transactions to now-unreachable cubes as counted errors,
+        (6) kick every router.
+        """
+        applied = []
+        for a, b in pairs:
+            if (a, b) in self._dead_edges:
+                continue
+            try:
+                self.topology.remove_edge(a, b)
+            except TopologyError:
+                continue  # edge not present (e.g. statically failed)
+            self._dead_edges.add((a, b))
+            self._dead_edges.add((b, a))
+            for pair in ((a, b), (b, a)):
+                link = self._link_by_pair.get(pair)
+                if link is not None:
+                    link.fail()
+            applied.append((a, b))
+        if not applied:
+            return
+        stats = self._ras.stats
+        stats.count("ras.link_failures", len(applied))
+        stats.count("ras.route_rebuilds")
+        self._live_adjacency = self.topology.adjacency_by_class()
+        self.route_table = RouteTable(
+            self._live_adjacency,
+            HOST_ID,
+            self.topology.cube_ids(),
+            allow_unreachable=True,
+        )
+        if not self._guarded:
+            self._guarded = True
+            for link, _kind in self._links:
+                link.route_guard = self._guard_delivery
+        if self.tracer is not None:
+            for a, b in applied:
+                self.tracer.ras_failure(engine.now, a, b)
+        self.port.adopt_route_table(self.route_table)
+        self._quiesce(engine)
+        self.port.fail_unreachable(engine)
+        for router in self._routers.values():
+            router.kick(engine)
+
+    def _quiesce(self, engine: Engine) -> None:
+        """Walk every queue; fix or drop packets stranded by the cut.
+
+        Two phases: first every queue is repaired (no credits returned,
+        so a freed slot cannot admit a packet into a queue we have not
+        walked yet), then the batched credit returns / drain callbacks
+        fire.
+        """
+        drained: List[Tuple[InputQueue, int]] = []
+        for router in self._routers.values():
+            for queue in router.inputs:
+                if queue.is_empty:
+                    continue
+                victims = set()
+                for packet in queue.packets():
+                    if not self._route_is_dead(packet):
+                        continue
+                    if self._reroute_packet(packet):
+                        self._ras.stats.count("ras.packets_rerouted")
+                    else:
+                        victims.add(packet)
+                        self._drop_packet(engine, packet)
+                if victims:
+                    removed = queue.remove(victims)
+                    drained.append((queue, removed))
+        # Queued-but-uninjected responses live outside the router queues.
+        for cube in self.cubes.values():
+            for controller in cube.controllers:
+                dropped = controller.sweep_responses(self._fix_or_drop_response)
+                if dropped:
+                    self._ras.stats.count("ras.packets_dropped", dropped)
+        for queue, count in drained:
+            if queue.upstream_link is not None:
+                for _ in range(count):
+                    queue.upstream_link.return_credit(engine)
+            elif queue.on_drain is not None:
+                queue.on_drain(engine)
+
+    def _fix_or_drop_response(self, response: Packet) -> bool:
+        """Controller-buffer sweep predicate: keep (possibly rerouted)?"""
+        if not self._route_is_dead(response):
+            return True
+        if self._reroute_packet(response):
+            self._ras.stats.count("ras.packets_rerouted")
+            return True
+        # The host is unreachable from this cube; its transaction is
+        # failed by the host-side sweep that follows the quiesce.
+        return False
+
+    def _route_is_dead(self, packet: Packet) -> bool:
+        route = packet.route
+        dead = self._dead_edges
+        for i in range(packet.hop_index, len(route) - 1):
+            if (route[i], route[i + 1]) in dead:
+                return True
+        return False
+
+    def _reroute_packet(self, packet: Packet) -> bool:
+        """Re-path a packet from its current node over the live topology."""
+        cls = (
+            RouteClass.WRITE
+            if packet.kind.is_write_class
+            else RouteClass.READ
+        )
+        paths = cached_bfs_paths(self._live_adjacency[cls], packet.current_node)
+        path = paths.get(packet.route[-1])
+        if path is None:
+            return False
+        packet.route = list(path)
+        packet.hop_index = 0
+        return True
+
+    def _guard_delivery(self, engine: Engine, packet: Packet, link: Link) -> bool:
+        """Delivery-time route check installed on every link after a
+        failure.  Returns False when the packet was dropped (the link
+        then swallows it and its queue slot is never consumed)."""
+        if not self._route_is_dead(packet):
+            return True
+        if self._reroute_packet(packet):
+            self._ras.stats.count("ras.packets_rerouted")
+            return True
+        self._drop_packet(engine, packet)
+        link.return_credit(engine)
+        return False
+
+    def _drop_packet(self, engine: Engine, packet: Packet) -> None:
+        self._ras.stats.count("ras.packets_dropped")
+        txn = packet.transaction
+        if txn is not None and not txn.failed:
+            # Request cut off from its cube, or response cut off from the
+            # host: either way the transaction can never complete.
+            self.port.fail_issued(engine, txn)
+            self.port.try_inject(engine)
+
     def dump_trace(self, directory: str) -> List[str]:
         """Write the run's trace as JSONL + Chrome trace_event files.
 
@@ -293,21 +483,31 @@ class MemoryNetworkSystem:
     # ------------------------------------------------------------------
     # runtime callbacks
     # ------------------------------------------------------------------
-    def _route_response(self, response: Packet) -> None:
+    def _route_response(self, response: Packet) -> bool:
         cls = (
             RouteClass.WRITE
             if response.kind == PacketKind.WRITE_ACK
             else RouteClass.READ
         )
-        response.route = list(self.route_table.route_to_host(response.src, cls))
+        try:
+            response.route = list(self.route_table.route_to_host(response.src, cls))
+        except RoutingError:
+            if self._ras is None:
+                raise  # without a fault plan this is a wiring bug
+            # The host became unreachable from this cube; the response
+            # is lost and the host errors the transaction on its side.
+            self._ras.stats.count("ras.responses_unroutable")
+            return False
         response.hop_index = 0
+        return True
 
     def _transaction_done(self, engine: Engine, txn: Transaction) -> None:
         self._completed_count += 1
-        if self._completed_count > self._warmup_count:
+        if not txn.failed and self._completed_count > self._warmup_count:
             self.collector.add(txn)
         else:
-            # warm-up transactions still define the runtime envelope
+            # warm-up and failed transactions still define the runtime
+            # envelope, but are not latency samples
             if txn.complete_ps and txn.complete_ps > self.collector.last_complete_ps:
                 self.collector.last_complete_ps = txn.complete_ps
 
@@ -327,7 +527,8 @@ class MemoryNetworkSystem:
         if not self.port.done:
             raise SimulationError(
                 f"simulation stalled: {self.port.completed}/{self.requests} "
-                f"transactions completed at t={self.engine.now}"
+                f"transactions completed ({self.port.failed} failed) "
+                f"at t={self.engine.now}"
             )
         self.engine.drain()
         if self.tracer is not None and self.config.obs.trace_dir:
@@ -349,6 +550,14 @@ class MemoryNetworkSystem:
         energy = EnergyModel(self.config.energy, self.config.packet).report(
             external_bits, interposer_bits, accesses
         )
+        extra: Dict[str, float] = {}
+        if self._ras is not None:
+            extra.update(self._ras.counters())
+            extra["ras.replays"] = float(
+                sum(link.replays for link, _kind in self._links)
+            )
+            if self.port.late_responses:
+                extra["ras.late_responses"] = float(self.port.late_responses)
         return SimResult(
             config_label=self.config.label(),
             workload=self.workload_spec.name,
@@ -360,6 +569,9 @@ class MemoryNetworkSystem:
             stalled_reads=self.port.directory.stalled_reads,
             burst_mode_toggles=self.port.burst_mode_toggles,
             events_processed=self.engine.events_processed,
+            requests_failed=self.port.failed,
+            requests_served=self.port.completed,
+            extra=extra,
         )
 
 
