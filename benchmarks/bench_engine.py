@@ -1,0 +1,152 @@
+"""Benchmark the simulation core: events/second through the hot path.
+
+Runs one fig10-style configuration (chain topology, 1 TiB, KMEANS) and
+measures raw engine throughput along two axes —
+
+* scheduler: the two-tier timing ``wheel`` (default) vs the plain
+  binary ``heap`` it replaced, which doubles as the determinism
+  reference (both must produce identical result digests);
+* observability: off (the zero-overhead-when-off baseline), per-hop
+  latency ``attribution``, and full event ``trace`` recording.
+
+Each cell reports the best of ``--repeats`` runs (events/second is a
+throughput: the minimum-noise run is the honest one on a shared
+machine).  Results land in ``BENCH_engine.json``; the CI smoke step
+asserts a tolerant floor on the wheel/off cell.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--requests N]
+        [--repeats N] [--output PATH] [--min-events-per-s FLOOR]
+
+``REPRO_BENCH_REQUESTS`` also scales the request count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.serialization import result_digest
+from repro.sim.engine import Engine
+from repro.system import MemoryNetworkSystem
+from repro.units import TIB_BYTES
+from repro.workloads import get_workload
+
+DEFAULT_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "300")) * 4
+WORKLOAD = "KMEANS"
+BASE = SystemConfig(total_capacity_bytes=TIB_BYTES)
+
+
+def measure(requests: int, config: SystemConfig, scheduler: str, repeats: int):
+    """Best-of-``repeats`` events/second for one (config, scheduler) cell."""
+    best = 0.0
+    result = None
+    for _ in range(repeats):
+        system = MemoryNetworkSystem(
+            config, get_workload(WORKLOAD), requests=requests,
+            engine=Engine(scheduler),
+        )
+        started = time.perf_counter()
+        result = system.run()
+        elapsed = time.perf_counter() - started
+        rate = result.events_processed / elapsed if elapsed else 0.0
+        best = max(best, rate)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+    )
+    parser.add_argument(
+        "--min-events-per-s",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the wheel/obs-off rate falls below this "
+        "floor — the CI perf gate",
+    )
+    args = parser.parse_args(argv)
+
+    configs = [
+        ("off", BASE),
+        ("attribution", BASE.with_obs(attribution=True)),
+        ("traced", BASE.with_obs(attribution=True, trace=True)),
+    ]
+
+    print(
+        f"bench_engine: {WORKLOAD} x requests={args.requests}, "
+        f"best of {args.repeats}",
+        flush=True,
+    )
+    rates = {}
+    digests = {}
+    events = None
+    for scheduler in ("wheel", "heap"):
+        for obs_label, config in configs:
+            rate, result = measure(args.requests, config, scheduler, args.repeats)
+            rates[f"{scheduler}_{obs_label}"] = round(rate)
+            if obs_label == "off":
+                digests[scheduler] = result_digest(result)
+                events = result.events_processed
+            print(f"  {scheduler:5s} / {obs_label:11s}: {rate / 1e3:7.0f}k events/s")
+
+    if digests["wheel"] != digests["heap"]:
+        print(
+            "FAIL: wheel and heap schedulers disagree "
+            f"({digests['wheel'][:12]} != {digests['heap'][:12]})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"  digests agree    : {digests['wheel'][:16]} ({events} events)")
+
+    payload = {
+        "workload": WORKLOAD,
+        "requests": args.requests,
+        "repeats": args.repeats,
+        "cpus": os.cpu_count(),
+        "events_processed": events,
+        "result_digest": digests["wheel"],
+        "events_per_s": rates,
+        "wheel_vs_heap": (
+            round(rates["wheel_off"] / rates["heap_off"], 3)
+            if rates["heap_off"] else None
+        ),
+        "attribution_overhead": (
+            round(1 - rates["wheel_attribution"] / rates["wheel_off"], 3)
+            if rates["wheel_off"] else None
+        ),
+        "trace_overhead": (
+            round(1 - rates["wheel_traced"] / rates["wheel_off"], 3)
+            if rates["wheel_off"] else None
+        ),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.min_events_per_s is not None:
+        if rates["wheel_off"] < args.min_events_per_s:
+            print(
+                f"FAIL: wheel/off {rates['wheel_off']} events/s below the "
+                f"floor of {args.min_events_per_s:g}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"  perf gate        : {rates['wheel_off']} >= "
+            f"{args.min_events_per_s:g} events/s OK"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

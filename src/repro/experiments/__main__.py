@@ -63,6 +63,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record event traces into DIR (implies --obs; traces are "
         "written only by runs that actually simulate, not cache hits)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        nargs="?",
+        const="",
+        default=None,
+        help="run under cProfile; prints the hottest functions and, with "
+        "a PATH, dumps the raw pstats file there (forces --jobs 1 — "
+        "worker processes would escape the profiler)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -82,22 +92,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_dir=args.trace,
         )
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if args.profile is not None and jobs != 1:
+        print("--profile forces --jobs 1 (cProfile cannot see worker "
+              "processes)", file=sys.stderr)
+        jobs = 1
     runner = configure_runner(
-        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        jobs=jobs,
         cache_dir=args.cache_dir,
         persistent=not args.no_cache,
     )
+
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
 
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
         run = get_experiment(experiment_id)
         started = time.time()
         simulated_before = runner.simulations_run
+        if profiler is not None:
+            profiler.enable()
         output = run(
             requests=args.requests,
             workloads=workloads,
             base_config=base_config,
         )
+        if profiler is not None:
+            profiler.disable()
         elapsed = time.time() - started
         simulated = runner.simulations_run - simulated_before
         print(output.text)
@@ -110,6 +135,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{runner.cache.describe()}]"
         )
         print()
+
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        if args.profile:
+            stats.dump_stats(args.profile)
+            print(f"raw profile written to {args.profile}")
+        stats.sort_stats("tottime").print_stats(25)
     return 0
 
 

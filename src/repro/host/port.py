@@ -67,6 +67,9 @@ class HostPort:
 
         self.directory = Directory()
         self.pending: List[Transaction] = []  # generated, not yet injected
+        # the same backlog split by kind, for room-gated selection scans
+        self._pending_reads: List[Transaction] = []
+        self._pending_writes: List[Transaction] = []
         self.outstanding_reads = 0
         self.outstanding_writes = 0
         # in-order read retirement (wavefront semantics)
@@ -123,6 +126,10 @@ class HostPort:
         txn.location = self.address_map.decode(request.address)
         txn.dest_cube = self.cube_node_ids[txn.location.cube_index]
         self.pending.append(txn)
+        if request.is_write:
+            self._pending_writes.append(txn)
+        else:
+            self._pending_reads.append(txn)
         self.generated += 1
         self._observe_for_hysteresis(request.is_write)
         self.try_inject(engine)
@@ -156,28 +163,58 @@ class HostPort:
             return self.outstanding_writes < self.config.host.store_buffer_entries
         return self.outstanding_reads < self.window
 
-    def _select_next(self) -> Optional[int]:
-        """Pick the index of the next pending transaction to inject."""
+    def _select_next(self, read_room: bool, write_room: bool) -> Optional[Transaction]:
+        """Pick the next pending transaction to inject.
+
+        The backlog is kept split by kind (``_pending_reads`` /
+        ``_pending_writes``, both in generation order) so that when one
+        window is full — the common case is a full read window over a
+        read-heavy backlog — the scan skips the other kind's pile
+        wholesale instead of filtering it element by element.  Selection
+        is unchanged: first eligible read (when read-priority injection
+        is on), else the first eligible transaction in generation order.
+        """
+        can_issue = self.directory.can_issue
+        if not read_room:
+            for txn in self._pending_writes:
+                if can_issue(txn.address, True):
+                    return txn
+            return None
+        if not write_room:
+            for txn in self._pending_reads:
+                if can_issue(txn.address, False):
+                    return txn
+            return None
+        read_priority = self.config.host.read_priority_injection
         first_eligible = None
-        for index, txn in enumerate(self.pending):
-            if not self.directory.can_issue(txn.address, txn.is_write):
+        for txn in self.pending:
+            is_write = txn.is_write
+            if not can_issue(txn.address, is_write):
                 continue
-            if not self._has_room(txn):
-                continue
-            if first_eligible is None:
-                first_eligible = index
-            if self.config.host.read_priority_injection and not txn.is_write:
-                return index  # first eligible read bypasses queued writes
-            if not self.config.host.read_priority_injection:
-                return index
+            if read_priority:
+                if not is_write:
+                    return txn  # first eligible read bypasses queued writes
+                if first_eligible is None:
+                    first_eligible = txn
+            else:
+                return txn
         return first_eligible
 
     def try_inject(self, engine: Engine) -> None:
+        host = self.config.host
         while self.pending:
-            index = self._select_next()
-            if index is None:
+            read_room = self.outstanding_reads < self.window
+            write_room = self.outstanding_writes < host.store_buffer_entries
+            if not read_room and not write_room:
+                return  # no window slot of either kind is free
+            txn = self._select_next(read_room, write_room)
+            if txn is None:
                 return  # everything pending is blocked or out of room
-            txn = self.pending.pop(index)
+            self.pending.remove(txn)
+            if txn.is_write:
+                self._pending_writes.remove(txn)
+            else:
+                self._pending_reads.remove(txn)
             if self._degraded and not self.route_table.is_reachable(
                 txn.dest_cube, self._reach_class_for(txn)
             ):
@@ -339,6 +376,8 @@ class HostPort:
             else:
                 self._fail_unissued(engine, txn)
         self.pending = still_pending
+        self._pending_reads = [t for t in still_pending if not t.is_write]
+        self._pending_writes = [t for t in still_pending if t.is_write]
         for txn in list(self._outstanding_txns):
             if not self.route_table.is_reachable(
                 txn.dest_cube, self._reach_class_for(txn)

@@ -17,7 +17,7 @@ from repro.memory.bank import Bank
 from repro.memory.timing import AccessPlan, TimingModel
 from repro.net.buffers import InputQueue
 from repro.net.packet import Packet, response_packet
-from repro.net.router import Router
+from repro.net.router import LOCAL, Router
 from repro.sim.engine import Engine
 
 
@@ -56,6 +56,8 @@ class QuadrantController:
         self._reserved = 0
         self._pending_responses: List[Packet] = []
         self._next_wake_ps: Optional[int] = None
+        self._refresh_due_ps: Optional[int] = None
+        self._refresh_armed = False
         # counters
         self.reads = 0
         self.writes = 0
@@ -75,10 +77,21 @@ class QuadrantController:
     def start_refresh(self, engine: Engine) -> None:
         tech = self.timing.tech
         if tech.needs_refresh:
+            self._refresh_due_ps = self.refresh_offset_ps
+            self._refresh_armed = True
             engine.schedule(self.refresh_offset_ps, self._refresh)
 
     # -- request path --------------------------------------------------------
     def receive(self, engine: Engine, packet: Packet) -> None:
+        if self._refresh_due_ps is not None and not self._refresh_armed:
+            # Dormant: replay the refresh ticks skipped while the queue
+            # was empty (banks were untouched, so the lazy replay is
+            # exact), then go back to eager ticking.
+            now = engine.now
+            while self._refresh_due_ps <= now:
+                self._refresh_tick(self._refresh_due_ps)
+            self._refresh_armed = True
+            engine.schedule_at(self._refresh_due_ps, self._refresh)
         self._reserved -= 1
         if packet.transaction.segments is not None:
             packet.obs_mark = engine.now  # queue-wait clock starts here
@@ -87,6 +100,7 @@ class QuadrantController:
 
     def _kick(self, engine: Engine) -> None:
         now = engine.now
+        issued_any = False
         if self.scheduling == "fcfs":
             # strict in-order: the head must issue before anything else
             while self._queue:
@@ -97,6 +111,7 @@ class QuadrantController:
                     break
                 del self._queue[0]
                 self._issue(engine, packet, bank, location.row)
+                issued_any = True
         else:
             issued = True
             while issued:
@@ -108,8 +123,14 @@ class QuadrantController:
                         del self._queue[position]
                         self._issue(engine, packet, bank, location.row)
                         issued = True
+                        issued_any = True
                         break
         self._arm_wakeup(engine)
+        if issued_any:
+            # Each issue freed an admission slot; wake any router head
+            # that was blocked on local delivery (the event-driven
+            # router no longer polls us on unrelated arrivals).
+            self.router.output_ready(engine, LOCAL)
 
     def _issue(self, engine: Engine, packet: Packet, bank: Bank, row: int) -> None:
         txn = packet.transaction
@@ -126,8 +147,8 @@ class QuadrantController:
             self.tracer.mem_access(
                 self.name, engine.now, plan.data_ready_ps, plan.row_hit, is_write
             )
-        engine.schedule(
-            plan.data_ready_ps - engine.now, self._complete, packet, plan
+        engine.schedule_bound(
+            plan.data_ready_ps - engine.now, self._complete, (packet, plan)
         )
 
     def _complete(self, engine: Engine, packet: Packet, plan: AccessPlan) -> None:
@@ -209,17 +230,33 @@ class QuadrantController:
     # -- refresh ---------------------------------------------------------------
     # Banks refresh in rotating groups (per-bank refresh as in HBM), so
     # at any instant only a fraction of the quadrant is unavailable and
-    # bank-level parallelism hides most of the cost.
+    # bank-level parallelism hides most of the cost.  Ticks fire eagerly
+    # only while requests are queued; a quiescent controller schedules
+    # nothing and replays the missed ticks when the next request arrives
+    # (exact, because idle banks are never touched in between).
     REFRESH_GROUPS = 8
 
-    def _refresh(self, engine: Engine) -> None:
+    def _refresh_tick(self, tick_ps: int) -> None:
+        """Apply the refresh tick due at ``tick_ps`` and advance the due
+        time.  ``bank.refresh`` starts at ``max(tick_ps, busy_until)``,
+        so replaying a tick after its due time gives the same bank state
+        as applying it on time."""
         tech = self.timing.tech
         groups = min(self.REFRESH_GROUPS, len(self.banks))
         group = self.refreshes % groups
+        duration = tech.refresh_duration_ps
         for index in range(group, len(self.banks), groups):
-            self.banks[index].refresh(engine.now, tech.refresh_duration_ps)
+            self.banks[index].refresh(tick_ps, duration)
         self.refreshes += 1
-        engine.schedule(tech.refresh_interval_ps // groups, self._refresh)
+        self._refresh_due_ps = tick_ps + tech.refresh_interval_ps // groups
+
+    def _refresh(self, engine: Engine) -> None:
+        self._refresh_armed = False
+        self._refresh_tick(engine.now)
+        if self._queue:
+            self._refresh_armed = True
+            engine.schedule_at(self._refresh_due_ps, self._refresh)
+        # else dormant: receive() replays missed ticks and re-arms
 
     # -- introspection ------------------------------------------------------------
     @property

@@ -35,15 +35,22 @@ from repro.units import serialization_ps
 
 
 class SharedChannel:
-    """The physical medium: one serializer shared by its Link halves."""
+    """The physical medium: one serializer shared by its Link halves.
 
-    __slots__ = ("name", "_busy_until", "halves", "_toggle", "_idle_armed")
+    Wake-ups are strictly demand-driven: a sender blocked on the busy
+    channel registers itself via :meth:`wake_when_idle`, and the single
+    idle event is armed only while someone is actually waiting.  An
+    uncontended channel therefore schedules *no* idle/poll events at
+    all — packets stream through with one delivery event each.
+    """
+
+    __slots__ = ("name", "_busy_until", "halves", "_waiting", "_idle_armed")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._busy_until = 0
         self.halves: List["Link"] = []
-        self._toggle = 0
+        self._waiting: List["Link"] = []
         self._idle_armed = False
 
     def is_free(self, now_ps: int) -> bool:
@@ -53,36 +60,59 @@ class SharedChannel:
         if not self.is_free(engine.now):
             raise SimulationError(f"channel {self.name} busy")
         self._busy_until = engine.now + duration_ps
-        if not self._idle_armed:
+        if self._waiting and not self._idle_armed:
             self._idle_armed = True
-            engine.schedule(duration_ps, self._became_idle)
+            engine.schedule_bound(duration_ps, self._became_idle)
+
+    def wake_when_idle(self, engine: Engine, half: "Link") -> None:
+        """A sender with a blocked head packet asks to be re-granted.
+
+        Idempotent per half.  Arms the channel-idle event when the
+        channel is busy; a credit-blocked sender on a free channel is
+        woken by the credit return instead (:meth:`Link.return_credit`).
+        """
+        if half._waiting:
+            return
+        half._waiting = True
+        self._waiting.append(half)
+        if not self._idle_armed and engine.now < self._busy_until:
+            self._idle_armed = True
+            engine.schedule_at(self._busy_until, self._became_idle)
 
     def _became_idle(self, engine: Engine) -> None:
         self._idle_armed = False
         if not self.is_free(engine.now):
-            # someone re-occupied the channel at the same instant
+            # someone re-occupied the channel at the same instant; the
+            # occupy re-armed the idle event if anyone is still waiting
             return
         self.grant(engine)
 
     def grant(self, engine: Engine) -> None:
-        """Re-arbitrate the idle channel between its directions.
+        """Re-arbitrate the idle channel between its waiting directions.
 
         A direction whose sender has a response-class packet at an
-        eligible queue head wins; otherwise directions alternate.
+        eligible queue head wins (the paper's deadlock-avoidance
+        priority, Section 3.2); ties keep registration order, which
+        alternates naturally because a re-blocked sender re-registers at
+        the back.  Waiters not reached before the channel is taken are
+        re-registered so the next idle transition wakes them.
         """
-        if not self.halves:
+        waiting = self._waiting
+        if not waiting:
             return
-        count = len(self.halves)
-        order = list(range(count))
-        responses = [half.sender_has_response_head() for half in self.halves]
-        order.sort(key=lambda i: (not responses[i], (i + self._toggle) % count))
-        self._toggle += 1
-        for index in order:
-            half = self.halves[index]
+        if len(waiting) > 1:
+            waiting.sort(key=lambda half: not half.sender_has_response_head())
+        self._waiting = []
+        for half in waiting:
+            half._waiting = False
+        for position, half in enumerate(waiting):
+            if not self.is_free(engine.now):
+                # a packet took the channel; re-register the rest
+                for missed in waiting[position:]:
+                    self.wake_when_idle(engine, missed)
+                return
             if half.on_idle is not None:
                 half.on_idle(engine)
-            if not self.is_free(engine.now):
-                return  # a packet took the channel
 
 
 class Link:
@@ -94,6 +124,9 @@ class Link:
         "channel",
         "dst_queue",
         "_credits",
+        "_waiting",
+        "_ser_cache",
+        "_arrival_extra_ps",
         "on_idle",
         "on_delivery",
         "sender_has_response_head",
@@ -122,6 +155,10 @@ class Link:
         self._credits: Optional[int] = (
             dst_queue.capacity if dst_queue.capacity is not None else None
         )
+        self._waiting = False  # registered in the channel's waiting set
+        self._ser_cache: dict = {}  # size_bits -> serialization ps
+        # fixed post-serialization latency, hoisted out of send()
+        self._arrival_extra_ps = config.serdes_latency_ps + config.propagation_ps
         # Callbacks wired by the owning routers:
         # ``on_idle(engine)``     -> upstream router retries this output.
         # ``on_delivery(engine, queue)`` -> downstream router reacts to
@@ -152,9 +189,15 @@ class Link:
 
     # ------------------------------------------------------------------
     def serialization_delay_ps(self, packet: Packet) -> int:
-        return serialization_ps(
-            packet.size_bits, self.config.lanes, self.config.lane_gbps
-        )
+        # Only a handful of packet sizes ever cross one link; memoize
+        # per link so the hot path is a dict hit on an int key.
+        ser = self._ser_cache.get(packet.size_bits)
+        if ser is None:
+            ser = serialization_ps(
+                packet.size_bits, self.config.lanes, self.config.lane_gbps
+            )
+            self._ser_cache[packet.size_bits] = ser
+        return ser
 
     def is_free(self, now_ps: int) -> bool:
         return self.channel.is_free(now_ps)
@@ -189,7 +232,11 @@ class Link:
             raise SimulationError(f"link {self.name} is dead")
         if not self.has_credit():
             raise SimulationError(f"link {self.name} has no credit")
-        ser = self.serialization_delay_ps(packet)
+        # Only a handful of packet sizes ever cross one link; memoize
+        # the serialization time per link (dict hit on an int key).
+        ser = self._ser_cache.get(packet.size_bits)
+        if ser is None:
+            ser = self.serialization_delay_ps(packet)
         occupy_ps = ser
         retry_ps = 0
         faults = self.faults
@@ -205,9 +252,7 @@ class Link:
         self.packets_carried += 1
         self.bits_carried += packet.size_bits
         self.busy_ps += occupy_ps
-        arrival_delay = (
-            occupy_ps + self.config.serdes_latency_ps + self.config.propagation_ps
-        )
+        arrival_delay = occupy_ps + self._arrival_extra_ps
         txn = packet.transaction
         if txn is not None and txn.segments is not None:
             now = engine.now
@@ -222,7 +267,7 @@ class Link:
             self.tracer.link_send(self.name, engine.now, ser, arrival_delay, packet)
             if retry_ps:
                 self.tracer.link_retry(self.name, engine.now, replays, retry_ps)
-        engine.schedule(arrival_delay, self._deliver, packet)
+        engine.schedule_bound(arrival_delay, self._deliver, (packet,))
 
     def _deliver(self, engine: Engine, packet: Packet) -> None:
         packet.advance()
@@ -239,5 +284,7 @@ class Link:
             self._credits += 1
         # Retrying immediately models an ideal credit wire; the 2 ns
         # SerDes latency already dominates real credit-return time.
-        if self.channel.is_free(engine.now):
-            self.channel.grant(engine)
+        # With nobody registered as waiting there is nothing to wake.
+        channel = self.channel
+        if channel._waiting and channel.is_free(engine.now):
+            channel.grant(engine)

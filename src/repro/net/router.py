@@ -24,11 +24,19 @@ LOCAL = -1  # output key for "terminate at this node"
 class OutputPort:
     """Abstract output: either a link to a neighbour or local delivery."""
 
+    __slots__ = ()
+
     def can_accept(self, now_ps: int, packet: Packet) -> bool:
         raise NotImplementedError
 
     def dispatch(self, engine: Engine, packet: Packet, input_index: int) -> None:
         raise NotImplementedError
+
+    def request_wakeup(self, engine: Engine) -> None:
+        """A head packet is blocked on this port: arrange the one event
+        that can unblock it.  Default is a no-op — non-exclusive ports
+        are retried by their owner (the memory controller re-kicks the
+        router when a slot frees)."""
 
     @property
     def exclusive(self) -> bool:
@@ -39,6 +47,8 @@ class OutputPort:
 class LinkOutput(OutputPort):
     """Forward packets over a point-to-point link."""
 
+    __slots__ = ("link",)
+
     def __init__(self, link: Link) -> None:
         self.link = link
 
@@ -47,6 +57,15 @@ class LinkOutput(OutputPort):
 
     def dispatch(self, engine: Engine, packet: Packet, input_index: int) -> None:
         self.link.send(engine, packet)
+
+    def request_wakeup(self, engine: Engine) -> None:
+        link = self.link
+        if link.dead:
+            return  # RAS quiesce reroutes or drops the queued packets
+        # Busy channel -> woken by its idle event; free channel with no
+        # credit -> woken by the downstream credit return.  Either way
+        # the channel's waiting set is the single wake-up registry.
+        link.channel.wake_when_idle(engine, link)
 
     @property
     def exclusive(self) -> bool:
@@ -60,6 +79,8 @@ class LocalOutput(OutputPort):
     packet, input_index)`` performs the hand-off (and models any
     intra-package penalty, e.g. wrong-quadrant routing).
     """
+
+    __slots__ = ("accept_fn", "deliver_fn")
 
     def __init__(
         self,
@@ -77,7 +98,27 @@ class LocalOutput(OutputPort):
 
 
 class Router:
-    """Input-queued switch with per-output arbitration."""
+    """Input-queued switch with per-output arbitration.
+
+    Strictly event-driven: arbitration for an output runs only when
+    something that could change its outcome happens — a packet arrives
+    at a queue head bound for it, its channel goes idle, a credit comes
+    back, or the local controller frees a slot.  A blocked head
+    registers exactly one wake-up (:meth:`OutputPort.request_wakeup`)
+    instead of being re-scanned on every unrelated event.
+    """
+
+    __slots__ = (
+        "node_id",
+        "name",
+        "inputs",
+        "outputs",
+        "_arbiters",
+        "_arbiter_factory",
+        "response_priority",
+        "grants",
+        "tracer",
+    )
 
     def __init__(
         self,
@@ -119,14 +160,26 @@ class Router:
         return packet.next_node
 
     # -- event entry points -------------------------------------------------
-    def packet_arrived(self, engine: Engine, _queue: InputQueue) -> None:
-        """A packet was pushed into one of our input queues."""
-        # Only the head packet of each queue is eligible; try every
-        # output that some head currently needs (cheap: few queues).
-        self.kick(engine)
+    def packet_arrived(self, engine: Engine, queue: InputQueue) -> None:
+        """A packet was pushed into one of our input queues.
+
+        Callers invoke this once per push.  Only a push that lands at
+        the head can change any arbitration outcome, so only that case
+        is tried: a push behind an existing head changes nothing — the
+        head's output either dispatched it when it became head or holds
+        a wake-up registration from when it blocked.
+        """
+        items = queue._items
+        if len(items) != 1:
+            # empty: the RAS route guard swallowed the packet;
+            # deeper: the pushed packet is parked behind the head
+            return
+        head = items[0]
+        self._try_output(engine, LOCAL if head.at_destination else head.next_node)
 
     def output_ready(self, engine: Engine, key: int) -> None:
-        """An output link went idle or received a credit back."""
+        """An output link went idle, got a credit back, or the local
+        controller freed a slot."""
         self._try_output(engine, key)
 
     def has_response_head(self, key: int) -> bool:
@@ -136,19 +189,28 @@ class Router:
         (the paper's deadlock-avoidance priority, Section 3.2).
         """
         for queue in self.inputs:
-            if queue.is_empty:
+            items = queue._items
+            if not items:
                 continue
-            head = queue.head()
-            if head.kind.is_response and self._output_key(head) == key:
+            head = items[0]
+            if head.kind.is_response and (
+                LOCAL if head.at_destination else head.next_node
+            ) == key:
                 return True
         return False
 
     def kick(self, engine: Engine) -> None:
-        """Attempt arbitration for every output with demand."""
+        """Attempt arbitration for every output with demand.
+
+        Full rescan; the RAS quiesce path uses this to resynchronize
+        after route tables and link liveness change underneath us.
+        """
         needed = set()
         for queue in self.inputs:
-            if not queue.is_empty:
-                needed.add(self._output_key(queue.head()))
+            items = queue._items
+            if items:
+                head = items[0]
+                needed.add(LOCAL if head.at_destination else head.next_node)
         for key in needed:
             self._try_output(engine, key)
 
@@ -160,43 +222,67 @@ class Router:
                 f"router {self.name}: head packet needs unknown output {key}"
             )
         arbiter = self._arbiters[key]
+        inputs = self.inputs
+        retry: List[int] = []
         while True:
+            now = engine.now
             candidates: List[Tuple[int, Packet]] = []
-            for index, queue in enumerate(self.inputs):
-                if queue.is_empty:
+            responses: List[Tuple[int, Packet]] = []
+            demand = False
+            for index, queue in enumerate(inputs):
+                items = queue._items
+                if not items:
                     continue
-                head = queue.head()
-                if self._output_key(head) != key:
+                head = items[0]
+                # inline head output key (at_destination / next_node)
+                route = head.route
+                hop = head.hop_index + 1
+                if (route[hop] if hop < len(route) else LOCAL) != key:
                     continue
-                if not port.can_accept(engine.now, head):
-                    continue
-                candidates.append((index, head))
+                demand = True
+                if port.can_accept(now, head):
+                    candidates.append((index, head))
+                    if head.kind.is_response:
+                        responses.append((index, head))
             if not candidates:
-                return
-            if self.response_priority:
-                responses = [c for c in candidates if c[1].kind.is_response]
-                if responses:
-                    candidates = responses
-            pos = arbiter.pick(engine.now, candidates)
+                if demand:
+                    # Blocked: sleep until the one transition that can
+                    # unblock this output (channel idle / credit return
+                    # / controller slot free) instead of being polled.
+                    port.request_wakeup(engine)
+                break
+            if responses and self.response_priority:
+                candidates = responses
+            pos = arbiter.pick(now, candidates)
             if not 0 <= pos < len(candidates):
                 raise SimulationError(
                     f"arbiter {arbiter.name} returned invalid index {pos}"
                 )
             index, packet = candidates[pos]
-            queue = self.inputs[index]
-            popped = queue.pop(engine.now)
+            queue = inputs[index]
+            popped = queue.pop(now)
             if popped is not packet:
                 raise SimulationError("arbiter must select queue heads")
             arbiter.record_grant()
             self.grants[key] = self.grants.get(key, 0) + 1
             if self.tracer is not None:
-                self.tracer.router_grant(
-                    self.name, engine.now, key, packet, len(candidates)
-                )
+                self.tracer.router_grant(self.name, now, key, packet, len(candidates))
             port.dispatch(engine, packet, index)
             if queue.upstream_link is not None:
                 queue.upstream_link.return_credit(engine)
             elif queue.on_drain is not None:
                 queue.on_drain(engine)
-            if port.exclusive:
-                return  # link busy until serialization completes
+            # The pop exposed a new head; if it needs a different
+            # output, no future event will try that output for it —
+            # queue it for arbitration once this one settles.
+            items = queue._items
+            if items:
+                head = items[0]
+                new_key = LOCAL if head.at_destination else head.next_node
+                if new_key != key and new_key not in retry:
+                    retry.append(new_key)
+            # Exclusive ports (links) are now busy serializing: the next
+            # loop iteration finds can_accept False and registers the
+            # remaining demand, if any, on the channel's waiting set.
+        for other in retry:
+            self._try_output(engine, other)

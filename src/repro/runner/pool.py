@@ -94,6 +94,30 @@ def execute_job(job: SimJob) -> SimResult:
     ).run()
 
 
+def _worker_init() -> None:
+    """Pool initializer: pay the heavy imports once per worker process
+    instead of on the first job each worker receives."""
+    import repro.system  # noqa: F401
+
+
+def execute_chunk(jobs: Sequence[SimJob]) -> List[tuple]:
+    """Run a slice of a batch in one worker round-trip.
+
+    One submit/result cycle per *chunk* instead of per job amortizes the
+    future bookkeeping and pickling that dominated small parallel sweeps.
+    Failures are captured per job — ``('ok', result)`` or
+    ``('error', "Type: message")`` — so one bad job cannot take down its
+    chunk-mates.
+    """
+    out: List[tuple] = []
+    for job in jobs:
+        try:
+            out.append(("ok", execute_job(job)))
+        except Exception as exc:  # noqa: BLE001 - reported per job
+            out.append(("error", f"{type(exc).__name__}: {exc}"))
+    return out
+
+
 @dataclass
 class JobFailure:
     """Structured record of a job that could not produce a result.
@@ -242,23 +266,62 @@ class ParallelRunner:
             return
         self._execute_parallel(pending, results, workers)
 
+    def _chunk_size(self, pending_count: int, workers: int) -> int:
+        """Jobs per worker round-trip.
+
+        Four chunks per worker balances pickling amortization against
+        tail imbalance (a worker stuck with the one slow chunk).  The
+        watchdog needs per-job starts, so an armed ``job_timeout_s``
+        forces single-job chunks.
+        """
+        if self.job_timeout_s is not None:
+            return 1
+        return max(1, -(-pending_count // (workers * 4)))
+
+    def _requeue_broken(
+        self,
+        chunk: List[SimJob],
+        queue: deque,
+        attempts: Dict[str, int],
+        results: Dict[str, Union[SimResult, JobFailure, None]],
+    ) -> None:
+        """Retry policy for a chunk whose pool broke underneath it.
+
+        Any member may have been the killer, so each is retried alone —
+        a poison job then fails only itself on the second break.
+        """
+        for job in chunk:
+            digest = job.digest()
+            if attempts[digest] <= POOL_RETRIES:
+                queue.append([job])
+            else:
+                self._fail(
+                    results, job,
+                    "worker pool broke (worker died mid-job)",
+                    "pool", attempts[digest],
+                )
+
     def _execute_parallel(
         self,
         pending: List[SimJob],
         results: Dict[str, Union[SimResult, JobFailure, None]],
         workers: int,
     ) -> None:
-        queue = deque(pending)
         attempts: Dict[str, int] = {job.digest(): 0 for job in pending}
-        pool = ProcessPoolExecutor(max_workers=workers)
-        running: Dict[object, tuple] = {}  # future -> (job, start_monotonic)
+        size = self._chunk_size(len(pending), workers)
+        queue: deque = deque(
+            pending[i:i + size] for i in range(0, len(pending), size)
+        )
+        pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+        running: Dict[object, tuple] = {}  # future -> (chunk, start_monotonic)
         try:
             while queue or running:
                 while queue and len(running) < workers:
-                    job = queue.popleft()
-                    attempts[job.digest()] += 1
-                    future = pool.submit(execute_job, job)
-                    running[future] = (job, time.monotonic())
+                    chunk = queue.popleft()
+                    for job in chunk:
+                        attempts[job.digest()] += 1
+                    future = pool.submit(execute_chunk, chunk)
+                    running[future] = (chunk, time.monotonic())
                 timeout = None
                 if self.job_timeout_s is not None:
                     deadline = min(
@@ -274,42 +337,37 @@ class ParallelRunner:
                     continue
                 broken = False
                 for future in done:
-                    job, _start = running.pop(future)
-                    digest = job.digest()
+                    chunk, _start = running.pop(future)
                     try:
-                        result = future.result()
+                        statuses = future.result()
                     except BrokenProcessPool:
                         broken = True
-                        if attempts[digest] <= POOL_RETRIES:
-                            queue.append(job)
-                        else:
-                            self._fail(
-                                results, job,
-                                "worker pool broke (worker died mid-job)",
-                                "pool", attempts[digest],
-                            )
-                    except Exception as exc:  # noqa: BLE001 - reported per job
-                        self._fail(results, job, f"{type(exc).__name__}: {exc}",
-                                   "exception", attempts[digest])
+                        self._requeue_broken(chunk, queue, attempts, results)
+                    except Exception as exc:  # noqa: BLE001 - chunk transport
+                        # execute_chunk catches per-job errors, so this is
+                        # the round-trip itself (e.g. unpicklable result).
+                        for job in chunk:
+                            self._fail(results, job,
+                                       f"{type(exc).__name__}: {exc}",
+                                       "exception", attempts[job.digest()])
                     else:
-                        self._complete(results, job, result)
+                        for job, (status, payload) in zip(chunk, statuses):
+                            if status == "ok":
+                                self._complete(results, job, payload)
+                            else:
+                                self._fail(results, job, payload,
+                                           "exception", attempts[job.digest()])
                 if broken:
                     # Every in-flight future is doomed with the pool;
                     # drain them under the same retry policy, then respawn.
-                    for future, (job, _start) in list(running.items()):
-                        digest = job.digest()
-                        if attempts[digest] <= POOL_RETRIES:
-                            queue.append(job)
-                        else:
-                            self._fail(
-                                results, job,
-                                "worker pool broke (worker died mid-job)",
-                                "pool", attempts[digest],
-                            )
+                    for future, (chunk, _start) in list(running.items()):
+                        self._requeue_broken(chunk, queue, attempts, results)
                     running.clear()
                     _kill_pool(pool)
                     time.sleep(POOL_RESPAWN_BACKOFF_S)
-                    pool = ProcessPoolExecutor(max_workers=workers)
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers, initializer=_worker_init
+                    )
         finally:
             _kill_pool(pool)
 
@@ -326,25 +384,28 @@ class ParallelRunner:
 
         A hung worker cannot be preempted, so the whole pool is torn
         down (terminating its processes) and respawned.  Jobs that were
-        merely sharing the pool do not lose an attempt.
+        merely sharing the pool do not lose an attempt.  An armed
+        watchdog forces single-job chunks (:meth:`_chunk_size`), so each
+        in-flight chunk is exactly one job here.
         """
         now = time.monotonic()
-        for future, (job, start) in list(running.items()):
+        for future, (chunk, start) in list(running.items()):
             if future.done():
                 continue  # completed while we were deciding; next wait() reaps it
-            digest = job.digest()
             if now - start >= self.job_timeout_s:
                 # Deterministic simulations do not hang transiently:
                 # retrying would hang again, so time-outs fail outright.
-                self._fail(
-                    results, job,
-                    f"exceeded job timeout of {self.job_timeout_s:g}s",
-                    "timeout", attempts[digest],
-                )
+                for job in chunk:
+                    self._fail(
+                        results, job,
+                        f"exceeded job timeout of {self.job_timeout_s:g}s",
+                        "timeout", attempts[job.digest()],
+                    )
                 del running[future]
             else:
-                attempts[digest] -= 1  # innocent victim of the teardown
-                queue.append(job)
+                for job in chunk:
+                    attempts[job.digest()] -= 1  # innocent victim of teardown
+                queue.append(chunk)
                 del running[future]
         _kill_pool(pool)
         return ProcessPoolExecutor(max_workers=workers)

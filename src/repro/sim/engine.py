@@ -1,20 +1,43 @@
-"""Event scheduler with an integer picosecond clock."""
+"""Event scheduler with an integer picosecond clock.
+
+Two schedulers live behind one API:
+
+* ``wheel`` (the default) — a deterministic two-tier structure.  The
+  *near* tier is a binary heap covering ``[now, boundary)``; everything
+  at or beyond the boundary lands in hashed timing-wheel buckets of
+  ``2**WHEEL_SHIFT`` ps in O(1), with a heapq of bucket indices as the
+  far-future overflow tier.  When the near tier drains, the earliest
+  bucket is heapified wholesale and becomes the new near tier.  Most
+  events are scheduled a few nanoseconds out, so the common insert is a
+  list append instead of a per-event ``heappush`` into one big heap.
+* ``heap`` — the classic single heapq over all events, kept for
+  determinism equivalence checks and benchmarking.  It is the wheel
+  with an infinite near boundary, so both modes share every code path
+  and dispatch events in exactly the same ``(time, seq)`` order.
+
+Events are ``(time, sequence, callback, args)`` tuples ordered by time
+and, for equal times, by scheduling order — bit-identical results
+regardless of scheduler mode.
+"""
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
+#: Width of one timing-wheel bucket in picoseconds (2**12 = 4096 ps).
+#: Link serialization plus SerDes latency is ~4-6 ns in every paper
+#: configuration, so the bulk of scheduled events cross the bucket
+#: boundary and take the O(1) far-tier insert.
+WHEEL_SHIFT = 12
+
+_NO_ARGS: tuple = ()
+
 
 class Engine:
     """A deterministic discrete-event scheduler.
-
-    Events are ``(time, sequence, callback, args)`` tuples ordered by
-    time and, for equal times, by scheduling order.  Callbacks receive
-    the engine as their first argument so components do not need to
-    close over it.
 
     Example
     -------
@@ -26,12 +49,33 @@ class Engine:
     [5]
     """
 
-    __slots__ = ("_queue", "_now", "_seq", "_events_processed", "_running", "_tracer")
+    __slots__ = (
+        "_near",
+        "_near_bound",
+        "_far",
+        "_bucket_heap",
+        "_now",
+        "_seq",
+        "_pending",
+        "_events_processed",
+        "_running",
+        "_tracer",
+        "scheduler",
+    )
 
-    def __init__(self) -> None:
-        self._queue: list = []
+    def __init__(self, scheduler: str = "wheel") -> None:
+        if scheduler not in ("wheel", "heap"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.scheduler = scheduler
+        self._near: list = []
+        # ``heap`` mode is the wheel with an unreachable boundary: every
+        # event stays in the near heap and the far tier is never used.
+        self._near_bound: float = 0 if scheduler == "wheel" else float("inf")
+        self._far: dict = {}
+        self._bucket_heap: list = []
         self._now: int = 0
         self._seq: int = 0
+        self._pending: int = 0
         self._events_processed: int = 0
         self._running = False
         self._tracer = None
@@ -57,13 +101,16 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events still in the queue."""
-        return len(self._queue)
+        return self._pending
 
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
     def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
         """Schedule ``callback(engine, *args)`` after ``delay`` ps."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} scheduled at t={self._now}")
-        self.schedule_at(self._now + delay, callback, *args)
+        self._push(self._now + delay, callback, args)
 
     def schedule_at(self, time: int, callback: Callable, *args: Any) -> None:
         """Schedule ``callback(engine, *args)`` at absolute ``time`` ps."""
@@ -71,9 +118,51 @@ class Engine:
             raise SimulationError(
                 f"event scheduled in the past: t={time} < now={self._now}"
             )
-        heapq.heappush(self._queue, (time, self._seq, callback, args))
-        self._seq += 1
+        self._push(time, callback, args)
 
+    def schedule_bound(
+        self, delay: int, callback: Callable, args: tuple = _NO_ARGS
+    ) -> None:
+        """Fast-path schedule for pre-validated callers.
+
+        Skips the negative-delay branch and takes ``args`` as an already
+        built tuple, letting hot components pool and reuse argument
+        tuples instead of having them re-packed per call.  Callers must
+        guarantee ``delay >= 0``.
+        """
+        self._push(self._now + delay, callback, args)
+
+    def _push(self, time: int, callback: Callable, args: tuple) -> None:
+        if time < self._near_bound:
+            heappush(self._near, (time, self._seq, callback, args))
+        else:
+            index = time >> WHEEL_SHIFT
+            bucket = self._far.get(index)
+            if bucket is None:
+                self._far[index] = [(time, self._seq, callback, args)]
+                heappush(self._bucket_heap, index)
+            else:
+                bucket.append((time, self._seq, callback, args))
+        self._seq += 1
+        self._pending += 1
+
+    def _refill(self) -> bool:
+        """Promote the earliest wheel bucket into the near heap.
+
+        Returns False when no events remain anywhere.
+        """
+        if not self._bucket_heap:
+            return False
+        index = heappop(self._bucket_heap)
+        bucket = self._far.pop(index)
+        heapify(bucket)
+        self._near = bucket
+        self._near_bound = (index + 1) << WHEEL_SHIFT
+        return True
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
     def run(
         self,
         until: Optional[int] = None,
@@ -95,35 +184,72 @@ class Engine:
 
         Returns the number of events processed during this call.
         """
-        # This loop dominates every simulation's wall-clock time, so the
-        # queue and heappop are bound to locals and the optional-bound
-        # checks are hoisted out of the common path.
         if self._tracer is not None:
             return self._run_traced(until, max_events, stop_when)
+        if until is not None or max_events is not None or stop_when is not None:
+            return self._run_bounded(until, max_events, stop_when)
+        # Fast path: run the queue dry with no per-event bound checks.
+        # This loop dominates every simulation's wall-clock time, so the
+        # near heap and heappop are bound to locals.
         processed = 0
-        queue = self._queue
-        pop = heapq.heappop
+        pop = heappop
         self._running = True
         try:
-            if until is None and max_events is None and stop_when is None:
-                # fast path: run the queue dry, no per-event bound checks
-                while queue:
-                    time, _seq, callback, args = pop(queue)
+            while True:
+                # Callbacks can push but never swap the near list (only
+                # _refill does, between inner loops), so the alias holds.
+                near = self._near
+                while near:
+                    time, _seq, callback, args = pop(near)
                     self._now = time
                     callback(self, *args)
                     processed += 1
-                return processed
-            bounded = until is not None
-            limited = max_events is not None
-            while queue:
-                if bounded and queue[0][0] > until:
+                if not self._refill():
+                    return processed
+        finally:
+            self._pending -= processed
+            self._events_processed += processed
+            self._running = False
+
+    def _peek_time(self) -> Optional[int]:
+        """Earliest pending event time, promoting buckets as needed."""
+        while not self._near:
+            if not self._refill():
+                return None
+        return self._near[0][0]
+
+    def _run_bounded(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> int:
+        processed = 0
+        pop = heappop
+        bounded = until is not None
+        limited = max_events is not None
+        self._running = True
+        try:
+            # Callbacks can push but never swap the near list (only
+            # _refill does, and only when it has drained), so the alias
+            # stays valid across events.
+            near = self._near
+            while True:
+                if not near:
+                    if not self._refill():
+                        if bounded and until > self._now:
+                            self._now = until
+                        return processed
+                    near = self._near
+                if bounded and near[0][0] > until:
                     self._now = until
-                    break
-                time, _seq, callback, args = pop(queue)
+                    return processed
+                time, _seq, callback, args = pop(near)
                 self._now = time
                 callback(self, *args)
                 processed += 1
                 if limited and processed >= max_events:
+                    self._pending -= processed
                     self._events_processed += processed
                     processed = 0  # flushed; avoid double-count in finally
                     raise SimulationError(
@@ -131,12 +257,9 @@ class Engine:
                         "likely livelock"
                     )
                 if stop_when is not None and stop_when():
-                    break
-            else:
-                if bounded and until > self._now:
-                    self._now = until
-            return processed
+                    return processed
         finally:
+            self._pending -= processed
             self._events_processed += processed
             self._running = False
 
@@ -153,17 +276,21 @@ class Engine:
         """
         tracer = self._tracer
         processed = 0
-        queue = self._queue
-        pop = heapq.heappop
+        pop = heappop
         bounded = until is not None
         limited = max_events is not None
         self._running = True
         try:
-            while queue:
-                if bounded and queue[0][0] > until:
+            while True:
+                head_time = self._peek_time()
+                if head_time is None:
+                    if bounded and until > self._now:
+                        self._now = until
+                    return processed
+                if bounded and head_time > until:
                     self._now = until
-                    break
-                time, _seq, callback, args = pop(queue)
+                    return processed
+                time, _seq, callback, args = pop(self._near)
                 self._now = time
                 tracer.engine_event(
                     time, getattr(callback, "__qualname__", repr(callback))
@@ -171,6 +298,7 @@ class Engine:
                 callback(self, *args)
                 processed += 1
                 if limited and processed >= max_events:
+                    self._pending -= processed
                     self._events_processed += processed
                     processed = 0  # flushed; avoid double-count in finally
                     raise SimulationError(
@@ -178,15 +306,15 @@ class Engine:
                         "likely livelock"
                     )
                 if stop_when is not None and stop_when():
-                    break
-            else:
-                if bounded and until > self._now:
-                    self._now = until
-            return processed
+                    return processed
         finally:
+            self._pending -= processed
             self._events_processed += processed
             self._running = False
 
     def drain(self) -> None:
         """Discard all pending events (used to tear a system down)."""
-        self._queue.clear()
+        self._near.clear()
+        self._far.clear()
+        self._bucket_heap.clear()
+        self._pending = 0

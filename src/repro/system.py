@@ -48,12 +48,17 @@ class MemoryNetworkSystem:
         workload: WorkloadSpec,
         requests: int = 2000,
         workload_iter: Optional[Iterator[Request]] = None,
+        engine: Optional[Engine] = None,
     ) -> None:
         config.validate()
         self.config = config
         self.workload_spec = workload
         self.requests = requests
-        self.engine = Engine()
+        # An explicit engine selects the scheduler implementation (the
+        # determinism-equivalence suite runs both); results are
+        # bit-identical either way, so the choice is not part of the
+        # job digest.
+        self.engine = engine if engine is not None else Engine()
         self.topology: Topology = build_topology(config)
         self.route_table = RouteTable(
             self.topology.adjacency_by_class(),
@@ -523,7 +528,8 @@ class MemoryNetworkSystem:
         self.port.start(self.engine)
         if max_events is None:
             max_events = 4000 * self.requests + 2_000_000
-        self.engine.run(max_events=max_events, stop_when=lambda: self.port.done)
+        port = self.port  # bound locally: stop_when runs once per event
+        self.engine.run(max_events=max_events, stop_when=lambda: port.done)
         if not self.port.done:
             raise SimulationError(
                 f"simulation stalled: {self.port.completed}/{self.requests} "

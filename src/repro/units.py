@@ -7,6 +7,8 @@ exact and runs deterministic across platforms.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 # --- time ----------------------------------------------------------------
 PS = 1
 NS = 1_000 * PS
@@ -58,11 +60,14 @@ def gbps_to_bits_per_ps(gbps: float) -> float:
     return gbps * 1e9 / 1e12
 
 
+@lru_cache(maxsize=4096)
 def serialization_ps(size_bits: int, lanes: int, lane_gbps: float) -> int:
     """Time to serialize ``size_bits`` over ``lanes`` at ``lane_gbps`` each.
 
     Returns an integer number of picoseconds, rounded up so a link is
-    never modelled as faster than physically possible.
+    never modelled as faster than physically possible.  Memoized per
+    ``(size_bits, lanes, lane_gbps)`` — a sweep uses only a handful of
+    packet sizes but computes this on every link traversal.
     """
     bits_per_ps = gbps_to_bits_per_ps(lane_gbps) * lanes
     ticks = size_bits / bits_per_ps

@@ -152,12 +152,13 @@ class TestBackpressure:
 
     def test_responses_wait_for_inject_space(self):
         h = Harness(inject_capacity=1)
-        # block the inject queue by filling it manually
+        # block the inject queue with a packet whose output never accepts
+        h.router.add_output(99, LocalOutput(lambda p: False, lambda e, p, i: None))
         blocker = make_request()
-        blocker.route = [1, 99]  # needs an output that doesn't exist yet
+        blocker.route = [1, 99]
+        blocker.hop_index = 0  # at node 1, bound for the refusing output
 
-        # use a real second output so the blocker just sits there
-        h.inject.push(make_request())  # occupies the single slot
+        h.inject.push(blocker)  # occupies the single slot
         h.send(make_request(row=5))
         h.engine.run(until=ns(1000))
         assert h.controller.pending_responses == 1

@@ -158,23 +158,51 @@ class TestSharedChannel:
         link_ba.on_idle = lambda eng: grants.append("responses")
         link_ab.sender_has_response_head = lambda: False
         link_ba.sender_has_response_head = lambda: True
-        # occupy the channel, then let it re-arbitrate
+        # occupy the channel, register both directions as blocked, then
+        # let the idle transition re-arbitrate
         link_ab.send(engine, make_packet(size_bits=640))
+        channel.wake_when_idle(engine, link_ab)
+        channel.wake_when_idle(engine, link_ba)
         engine.run()
         assert grants[0] == "responses"
 
-    def test_alternation_without_responses(self):
+    def test_waiters_polled_in_registration_order(self):
         engine = Engine()
         channel = SharedChannel("ab")
         link_ab, _ = make_link(channel=channel)
         link_ba, _ = make_link(channel=channel)
-        first = []
-        link_ab.on_idle = lambda eng: first.append("ab")
-        link_ba.on_idle = lambda eng: first.append("ba")
+        polled = []
+        link_ab.on_idle = lambda eng: polled.append("ab")
+        link_ba.on_idle = lambda eng: polled.append("ba")
+        link_ab.send(engine, make_packet(size_bits=640))
+        channel.wake_when_idle(engine, link_ba)
+        channel.wake_when_idle(engine, link_ab)
+        engine.run()
+        # no responses pending: registration order decides, and both
+        # waiters get polled by the single idle event
+        assert polled == ["ba", "ab"]
+
+    def test_uncontended_channel_schedules_no_idle_events(self):
+        engine = Engine()
+        channel = SharedChannel("ab")
+        link_ab, _ = make_link(capacity=4, channel=channel)
         link_ab.send(engine, make_packet(size_bits=640))
         engine.run()
-        # both sides get polled; no exception and both callbacks fire
-        assert set(first) == {"ab", "ba"}
+        # delivery is the only event: no waiters -> no idle/poll events
+        assert engine.events_processed == 1
+
+    def test_wake_registration_is_idempotent(self):
+        engine = Engine()
+        channel = SharedChannel("ab")
+        link_ab, _ = make_link(channel=channel)
+        link_ba, _ = make_link(channel=channel)
+        polled = []
+        link_ba.on_idle = lambda eng: polled.append("ba")
+        link_ab.send(engine, make_packet(size_bits=640))
+        channel.wake_when_idle(engine, link_ba)
+        channel.wake_when_idle(engine, link_ba)
+        engine.run()
+        assert polled == ["ba"]
 
     def test_full_duplex_links_do_not_interfere(self):
         engine = Engine()

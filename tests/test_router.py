@@ -84,7 +84,7 @@ class TestForwarding:
         engine, router, queue, link, downstream = self.wire()
         for _ in range(3):
             queue.push(make_packet(PacketKind.READ_REQ, [0, 1], size_bits=640))
-        router.packet_arrived(engine, queue)
+            router.packet_arrived(engine, queue)  # once per push, like Link
         engine.run()
         assert len(downstream) == 3
         # three serializations of 2667 ps each, plus final serdes 2 ns
@@ -93,6 +93,7 @@ class TestForwarding:
     def test_blocks_when_downstream_full_and_resumes_on_credit(self):
         engine, router, queue, link, downstream = self.wire(capacity=1)
         queue.push(make_packet(PacketKind.READ_REQ, [0, 1]))
+        router.packet_arrived(engine, queue)
         queue.push(make_packet(PacketKind.READ_REQ, [0, 1]))
         router.packet_arrived(engine, queue)
         engine.run()

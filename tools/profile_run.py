@@ -1,0 +1,96 @@
+"""Profile one simulation under cProfile and print the hot functions.
+
+The engine-throughput work that produced the timing-wheel scheduler and
+the event-driven router wake-ups was driven by exactly this view: run a
+representative configuration, sort by cumulative or total time, and
+attack the top of the list.  Kept as a first-class tool so the next
+optimization round starts from a measurement, not a guess.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_run.py [--requests N]
+        [--workload NAME] [--label CONFIG] [--sort tottime|cumtime]
+        [--limit N] [--obs] [--stats PATH]
+
+``--stats PATH`` additionally dumps the raw pstats file for
+``snakeviz``/``pstats`` post-processing.  ``--label`` accepts the same
+topology labels as the experiments (e.g. ``chain-4``, ``ring-8``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.config import SystemConfig, parse_label
+from repro.system import MemoryNetworkSystem
+from repro.units import TIB_BYTES
+from repro.workloads import get_workload
+
+
+def profile_simulation(
+    requests: int,
+    workload: str,
+    label: str | None,
+    obs: bool,
+    sort: str,
+    limit: int,
+    stats_path: str | None,
+) -> None:
+    config = SystemConfig(total_capacity_bytes=TIB_BYTES)
+    if label:
+        config = parse_label(label, config)
+    if obs:
+        config = config.with_obs(attribution=True)
+    system = MemoryNetworkSystem(config, get_workload(workload), requests=requests)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = system.run()
+    profiler.disable()
+
+    print(
+        f"{workload} x {requests} requests"
+        + (f" on {label}" if label else "")
+        + f": {result.events_processed} events, runtime {result.runtime_ps} ps"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    if stats_path:
+        stats.dump_stats(stats_path)
+        print(f"raw stats written to {stats_path}")
+    stats.sort_stats(sort).print_stats(limit)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument("--workload", default="KMEANS")
+    parser.add_argument(
+        "--label", default=None,
+        help="topology/config label, e.g. chain-4 or ring-8 (default: base)",
+    )
+    parser.add_argument(
+        "--sort", default="tottime", choices=("tottime", "cumtime"),
+        help="pstats sort key (default tottime: self-time finds hot loops)",
+    )
+    parser.add_argument("--limit", type=int, default=25)
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="profile with latency attribution enabled",
+    )
+    parser.add_argument(
+        "--stats", default=None, metavar="PATH",
+        help="also dump the raw pstats file to PATH",
+    )
+    args = parser.parse_args(argv)
+    profile_simulation(
+        args.requests, args.workload, args.label, args.obs,
+        args.sort, args.limit, args.stats,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
