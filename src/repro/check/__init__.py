@@ -1,0 +1,71 @@
+"""Opt-in runtime invariant audits (the ``repro.check`` subsystem).
+
+Auditing follows the same zero-overhead-when-off contract as
+``repro.obs`` and ``repro.ras``: a system built without audits carries
+no auditor and pays nothing on the hot path.  Enablement is *not* part
+of :class:`repro.config.SystemConfig` — audits verify a run, they never
+change it, so audited and unaudited runs share job digests and cache
+entries (and ``RESULT_STATE_VERSION`` is untouched).
+
+Three ways to turn audits on, in precedence order:
+
+1. explicitly per system: ``MemoryNetworkSystem(..., audit=True)``,
+2. ambiently for the process: :func:`set_audits` or the
+   :func:`audits` context manager,
+3. via the environment: ``REPRO_AUDIT=1`` — this is how audits reach
+   runner *worker processes* (they inherit the environment) and the
+   ``--audit`` flag of ``python -m repro.experiments``.
+
+An audited system checks its invariants at every RAS quiesce, on a
+stall, and at end of run; a failed check raises
+:class:`repro.errors.InvariantViolation` with the run's reproduction
+context.  See ``docs/testing.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.check.auditor import InvariantAuditor
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "InvariantAuditor",
+    "InvariantViolation",
+    "audits",
+    "audits_enabled",
+    "set_audits",
+]
+
+_AMBIENT = False
+
+
+def set_audits(enabled: bool) -> bool:
+    """Set the ambient audit flag; returns the previous value.
+
+    Ambient enablement covers systems built in *this* process; worker
+    processes consult ``REPRO_AUDIT`` instead (set it in ``os.environ``
+    before the pool spawns to audit parallel runs).
+    """
+    global _AMBIENT
+    previous = _AMBIENT
+    _AMBIENT = bool(enabled)
+    return previous
+
+
+def audits_enabled() -> bool:
+    """True if systems built now should attach an auditor by default."""
+    if _AMBIENT:
+        return True
+    return os.environ.get("REPRO_AUDIT", "0") not in ("", "0")
+
+
+@contextmanager
+def audits(enabled: bool = True):
+    """Scoped ambient enablement: ``with audits(): simulate(...)``."""
+    previous = set_audits(enabled)
+    try:
+        yield
+    finally:
+        set_audits(previous)

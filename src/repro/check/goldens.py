@@ -1,0 +1,191 @@
+"""The golden regression corpus: what to run and how to digest it.
+
+Two corpora make every hot-path or protocol change bit-accountable:
+
+* the **matrix** — direct simulations spanning the four paper
+  topologies x audit-relevant modes (plain / obs attribution / RAS
+  noise / both), every arbiter, and two permanent-failure scenarios
+  that exercise the quiesce path.  Each case records the lossless
+  :func:`repro.serialization.result_digest` plus headline metrics so a
+  digest change comes with a readable "what moved" diff.
+* the **experiments** — every registered experiment run at smoke scale
+  (``EXPERIMENT_REQUESTS`` requests, two workloads), digested over the
+  canonical tree of its output data.
+
+Checked-in snapshots live in ``tests/goldens/``; regenerate them with
+``python tools/regen_goldens.py`` (see ``docs/testing.md`` for the
+policy).  All corpus runs are executed with invariant audits on, so a
+golden pass certifies conservation as well as bit-stability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import VALID_ARBITERS, SystemConfig
+from repro.runner.job import canonical_tree, digest_tree
+from repro.serialization import result_digest
+from repro.units import GIB_BYTES
+from repro.workloads import WorkloadSpec
+
+#: Request count for one matrix simulation (matches the scheduler
+#: equivalence suite's scale: seconds, not minutes, for the whole grid).
+MATRIX_REQUESTS = 150
+
+#: Smoke scale for the experiment corpus.
+EXPERIMENT_REQUESTS = 50
+EXPERIMENT_WORKLOADS = ("BACKPROP", "KMEANS")
+
+#: The four paper topologies (Figs 10-12); tree rides along as the
+#: intermediate step between ring and skip-list.
+MATRIX_TOPOLOGIES = ("chain", "ring", "skiplist", "metacube")
+
+
+def _matrix_config(**overrides) -> SystemConfig:
+    """The corpus base config: the tests' small 8-cube-per-port system."""
+    defaults = dict(total_capacity_bytes=1024 * GIB_BYTES)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def _matrix_workload() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="TEST",
+        read_fraction=0.6,
+        mean_gap_ns=2.0,
+        locality_lines=4.0,
+        mlp=16,
+        burst_size=4.0,
+    )
+
+
+def matrix_cases() -> List[Tuple[str, SystemConfig]]:
+    """Named configs of the simulation matrix, in a stable order."""
+    cases: List[Tuple[str, SystemConfig]] = []
+    for topology in MATRIX_TOPOLOGIES:
+        base = _matrix_config(topology=topology)
+        cases.append((f"{topology}/base", base))
+        cases.append((f"{topology}/obs", base.with_obs(attribution=True)))
+        cases.append((f"{topology}/ras", base.with_ras(bit_error_rate=1e-6)))
+        cases.append((
+            f"{topology}/obs+ras",
+            base.with_obs(attribution=True).with_ras(bit_error_rate=1e-6),
+        ))
+    for arbiter in VALID_ARBITERS:
+        cases.append((
+            f"skiplist/arb-{arbiter}",
+            _matrix_config(topology="skiplist", arbiter=arbiter),
+        ))
+    cases.append(("tree/base", _matrix_config(topology="tree")))
+    # Permanent failures drive the quiesce/reroute path (and its audit
+    # point); one link cut on the chain, one whole cube on the skip-list.
+    cases.append((
+        "chain/ras-linkfail",
+        _matrix_config(topology="chain").with_ras(
+            link_failures=((2, 3, 200_000),)
+        ),
+    ))
+    cases.append((
+        "skiplist/ras-cubefail",
+        _matrix_config(topology="skiplist")
+        .with_obs(attribution=True)
+        .with_ras(cube_failures=((3, 250_000),)),
+    ))
+    return cases
+
+
+def run_matrix_case(
+    config: SystemConfig,
+    requests: int = MATRIX_REQUESTS,
+    audit: bool = True,
+) -> Dict[str, object]:
+    """Simulate one matrix case and reduce it to a golden entry.
+
+    The digest is the lossless result digest; the headline metrics ride
+    along purely so a mismatch report can say what moved.
+    """
+    from repro.system import MemoryNetworkSystem
+
+    system = MemoryNetworkSystem(
+        config, _matrix_workload(), requests=requests, audit=audit
+    )
+    result = system.run()
+    return {
+        "digest": result_digest(result),
+        "events": result.events_processed,
+        "runtime_ps": result.runtime_ps,
+        "mean_latency_ns": round(result.mean_latency_ns, 6),
+        "failed": result.requests_failed,
+    }
+
+
+def compute_matrix(audit: bool = True) -> Dict[str, Dict[str, object]]:
+    """Run the whole matrix; returns ``{case name: golden entry}``."""
+    return {
+        name: run_matrix_case(config, audit=audit)
+        for name, config in matrix_cases()
+    }
+
+
+def compute_experiments(
+    requests: int = EXPERIMENT_REQUESTS,
+    workload_names: Tuple[str, ...] = EXPERIMENT_WORKLOADS,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Run every registered experiment at smoke scale and digest it.
+
+    The digest covers the canonical tree of ``ExperimentOutput.data``
+    (the numbers every figure/table renders from), not the rendered
+    text, so cosmetic formatting changes do not churn the corpus.
+    Audits apply to the underlying simulations whenever they are
+    ambiently enabled (``REPRO_AUDIT=1`` reaches worker processes too).
+    """
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.workloads import get_workload
+
+    workloads = [get_workload(name) for name in workload_names]
+    out: Dict[str, Dict[str, object]] = {}
+    for experiment_id, run in EXPERIMENTS.items():
+        if only is not None and experiment_id not in only:
+            continue
+        output = run(requests=requests, workloads=workloads)
+        tree = canonical_tree(output.data)
+        out[experiment_id] = {
+            "digest": digest_tree({
+                "experiment": experiment_id,
+                "requests": requests,
+                "workloads": list(workload_names),
+                "data": tree,
+            }),
+            "series_rows": len(output.series()),
+        }
+    return out
+
+
+def diff_goldens(
+    old: Dict[str, Dict[str, object]],
+    new: Dict[str, Dict[str, object]],
+) -> List[str]:
+    """Human-readable difference report between two golden corpora."""
+    lines: List[str] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            lines.append(f"- {name}: removed")
+            continue
+        if name not in old:
+            lines.append(f"+ {name}: added ({new[name].get('digest', '?')[:12]})")
+            continue
+        before, after = old[name], new[name]
+        if before == after:
+            continue
+        changed = [
+            f"{key} {before.get(key)} -> {after.get(key)}"
+            for key in sorted(set(before) | set(after))
+            if before.get(key) != after.get(key) and key != "digest"
+        ]
+        detail = "; ".join(changed) if changed else (
+            f"digest {str(before.get('digest'))[:12]} -> "
+            f"{str(after.get('digest'))[:12]}"
+        )
+        lines.append(f"! {name}: {detail}")
+    return lines

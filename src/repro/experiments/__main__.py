@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -64,6 +65,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "written only by runs that actually simulate, not cache hits)",
     )
     parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run every simulation with invariant audits on (repro.check; "
+        "exported as REPRO_AUDIT=1 so worker processes audit too — "
+        "results and cache entries are unchanged)",
+    )
+    parser.add_argument(
         "--profile",
         metavar="PATH",
         nargs="?",
@@ -74,6 +82,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "worker processes would escape the profiler)",
     )
     args = parser.parse_args(argv)
+
+    if args.audit:
+        os.environ["REPRO_AUDIT"] = "1"
 
     if args.experiment == "list":
         for experiment_id in experiment_ids():

@@ -79,6 +79,14 @@ class HostPort:
         self.issued = 0
         self.completed = 0
         self.generated = 0
+        # per-kind conservation counters (repro.check): at end of run
+        # generated_k == completed_k + failed_k must hold for each kind
+        self.generated_reads = 0
+        self.generated_writes = 0
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self.failed_reads = 0
+        self.failed_writes = 0
         # RAS: requests failed as host-level errors (dest cube became
         # unreachable after a permanent failure) and responses that beat
         # the failure across the cut after their transaction was already
@@ -128,8 +136,10 @@ class HostPort:
         self.pending.append(txn)
         if request.is_write:
             self._pending_writes.append(txn)
+            self.generated_writes += 1
         else:
             self._pending_reads.append(txn)
+            self.generated_reads += 1
         self.generated += 1
         self._observe_for_hysteresis(request.is_write)
         self.try_inject(engine)
@@ -311,6 +321,10 @@ class HostPort:
             txn.segments.append(("resp.port", seg_start, engine.now))
         self._release_claims(txn)
         self.completed += 1
+        if txn.is_write:
+            self.completed_writes += 1
+        else:
+            self.completed_reads += 1
         self.on_transaction_done(engine, txn)
         self.try_inject(engine)
 
@@ -336,6 +350,10 @@ class HostPort:
         txn.failed = True
         txn.complete_ps = engine.now  # the host learns of the error now
         self.failed += 1
+        if txn.is_write:
+            self.failed_writes += 1
+        else:
+            self.failed_reads += 1
         self.on_transaction_done(engine, txn)
 
     def _fail_unissued(self, engine: Engine, txn: Transaction) -> None:

@@ -28,7 +28,10 @@ class InputQueue:
         "on_drain",
         "peak_occupancy",
         "total_wait_ps",
+        "pushed",
+        "pops",
         "popped",
+        "removed_count",
         "tracer",
     )
 
@@ -42,7 +45,13 @@ class InputQueue:
         self.peak_occupancy = 0
         # waiting-time accounting (the Section 3.2 parking-lot analysis)
         self.total_wait_ps = 0
+        # conservation counters (repro.check): ``pushed`` and ``pops``
+        # count every entry/exit; ``popped`` only the *timed* pops that
+        # feed mean_wait_ps (untimed pops would skew the mean).
+        self.pushed = 0
+        self.pops = 0
         self.popped = 0
+        self.removed_count = 0
         # observability (repro.obs): set by the system when tracing is on
         self.tracer = None
 
@@ -69,6 +78,7 @@ class InputQueue:
             )
         self._items.append(packet)
         self._entry_times.append(now_ps)
+        self.pushed += 1
         if len(self._items) > self.peak_occupancy:
             self.peak_occupancy = len(self._items)
         if self.tracer is not None:
@@ -79,6 +89,7 @@ class InputQueue:
             raise SimulationError(f"pop on empty queue {self.name}")
         entered = self._entry_times.popleft()
         packet = self._items.popleft()
+        self.pops += 1
         if entered is not None and now_ps is not None:
             self.total_wait_ps += now_ps - entered
             self.popped += 1
@@ -116,6 +127,7 @@ class InputQueue:
                 kept_times.append(entered)
         self._items = kept
         self._entry_times = kept_times
+        self.removed_count += removed
         return removed
 
     @property

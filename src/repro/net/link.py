@@ -138,6 +138,7 @@ class Link:
         "replays",
         "dead",
         "route_guard",
+        "guard_drops",
     )
 
     def __init__(
@@ -185,6 +186,9 @@ class Link:
         self.replays = 0
         self.dead = False
         self.route_guard = None
+        # packets swallowed in-flight by the route guard (repro.check:
+        # closes the wire-occupancy conservation equation under RAS)
+        self.guard_drops = 0
         dst_queue.upstream_link = self
 
     # ------------------------------------------------------------------
@@ -273,6 +277,7 @@ class Link:
         packet.advance()
         guard = self.route_guard
         if guard is not None and not guard(engine, packet, self):
+            self.guard_drops += 1
             return  # RAS: no route survives the failure; the guard dropped it
         self.dst_queue.push(packet, engine.now)
         if self.on_delivery is not None:

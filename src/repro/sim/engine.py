@@ -312,6 +312,74 @@ class Engine:
             self._events_processed += processed
             self._running = False
 
+    # ------------------------------------------------------------------
+    # integrity introspection (repro.check)
+    # ------------------------------------------------------------------
+    def integrity_errors(self) -> list:
+        """Audit the scheduler's internal bookkeeping (repro.check).
+
+        Walks both tiers and returns a list of problem strings (empty
+        when consistent).  Checked invariants:
+
+        * the ``pending`` counter equals the number of queued events
+          (a mismatch means an event was lost or smuggled in),
+        * the far-tier bucket heap and bucket dict describe the same
+          set of buckets, with no duplicates (a stale wheel entry —
+          a bucket the refill loop can never reach — shows up here),
+        * every queued event sits in the correct tier and bucket for
+          its timestamp, and none is scheduled in the past.
+
+        Cold path only: nothing here runs unless an auditor asks.
+        """
+        problems = []
+        queued = len(self._near) + sum(len(b) for b in self._far.values())
+        if self._running:
+            # Mid-dispatch the pending counter still includes events this
+            # run() call already processed (it is settled in batch when
+            # the loop exits), so only the lower bound can be checked.
+            if queued > self._pending:
+                problems.append(
+                    f"pending counter {self._pending} below {queued} "
+                    "queued events mid-dispatch"
+                )
+        elif queued != self._pending:
+            problems.append(
+                f"pending counter {self._pending} != {queued} queued events"
+            )
+        heap_indices = sorted(self._bucket_heap)
+        far_indices = sorted(self._far)
+        if heap_indices != far_indices:
+            problems.append(
+                f"bucket heap {heap_indices} disagrees with far buckets "
+                f"{far_indices} (stale or unreachable wheel entry)"
+            )
+        elif len(set(heap_indices)) != len(heap_indices):
+            problems.append(f"duplicate bucket indices in heap: {heap_indices}")
+        for time, _seq, _cb, _args in self._near:
+            if time < self._now:
+                problems.append(f"near event at t={time} is before now={self._now}")
+                break
+            if time >= self._near_bound:
+                problems.append(
+                    f"near event at t={time} belongs beyond the boundary "
+                    f"{self._near_bound}"
+                )
+                break
+        for index, bucket in self._far.items():
+            for time, _seq, _cb, _args in bucket:
+                if time >> WHEEL_SHIFT != index:
+                    problems.append(
+                        f"far event at t={time} filed in bucket {index} "
+                        f"(expected {time >> WHEEL_SHIFT})"
+                    )
+                    break
+                if time < self._now:
+                    problems.append(
+                        f"far event at t={time} is before now={self._now}"
+                    )
+                    break
+        return problems
+
     def drain(self) -> None:
         """Discard all pending events (used to tear a system down)."""
         self._near.clear()

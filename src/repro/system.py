@@ -49,6 +49,7 @@ class MemoryNetworkSystem:
         requests: int = 2000,
         workload_iter: Optional[Iterator[Request]] = None,
         engine: Optional[Engine] = None,
+        audit: Optional[bool] = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -89,6 +90,19 @@ class MemoryNetworkSystem:
         self._warmup_count = int(requests * config.warmup_fraction)
         self._completed_count = 0
         self._started = False
+        # Invariant audits (repro.check): like the engine choice, audit
+        # enablement is not part of the config — audits verify a run
+        # without changing it, so audited and unaudited runs share job
+        # digests.  ``None`` defers to the ambient flag / REPRO_AUDIT.
+        self.auditor = None
+        if audit is None:
+            from repro.check import audits_enabled
+
+            audit = audits_enabled()
+        if audit:
+            from repro.check import InvariantAuditor
+
+            self.auditor = InvariantAuditor(self)
 
     # ------------------------------------------------------------------
     # construction
@@ -362,6 +376,8 @@ class MemoryNetworkSystem:
         self.port.fail_unreachable(engine)
         for router in self._routers.values():
             router.kick(engine)
+        if self.auditor is not None:
+            self.auditor.audit("ras-quiesce")
 
     def _quiesce(self, engine: Engine) -> None:
         """Walk every queue; fix or drop packets stranded by the cut.
@@ -531,15 +547,26 @@ class MemoryNetworkSystem:
         port = self.port  # bound locally: stop_when runs once per event
         self.engine.run(max_events=max_events, stop_when=lambda: port.done)
         if not self.port.done:
+            if self.auditor is not None:
+                # A broken invariant (leaked packet, lost credit) usually
+                # surfaces as a stall; name the root cause if we can.
+                self.auditor.audit("stall")
             raise SimulationError(
                 f"simulation stalled: {self.port.completed}/{self.requests} "
                 f"transactions completed ({self.port.failed} failed) "
                 f"at t={self.engine.now}"
             )
+        if self.auditor is not None:
+            # Audited before drain() so stranded-event checks see the
+            # real queue contents.
+            self.auditor.audit("final")
         self.engine.drain()
         if self.tracer is not None and self.config.obs.trace_dir:
             self.dump_trace(self.config.obs.trace_dir)
-        return self._result()
+        result = self._result()
+        if self.auditor is not None:
+            self.auditor.audit_result(result)
+        return result
 
     def _result(self) -> SimResult:
         external_bits = sum(

@@ -1,12 +1,17 @@
-"""Shared fixtures: small, fast system configurations."""
+"""Shared fixtures: small, fast system configurations and run helpers."""
 
 from __future__ import annotations
 
 import importlib.util
+from typing import Optional, Tuple
 
 import pytest
 
 from repro.config import HostConfig, SystemConfig
+from repro.results import SimResult
+from repro.serialization import result_digest
+from repro.sim.engine import Engine
+from repro.system import MemoryNetworkSystem
 from repro.units import GIB_BYTES
 from repro.workloads import WorkloadSpec
 
@@ -45,6 +50,53 @@ def fast_workload(**overrides) -> WorkloadSpec:
     )
     defaults.update(overrides)
     return WorkloadSpec(**defaults)
+
+
+def run_system(
+    config: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadSpec] = None,
+    requests: int = 200,
+    engine: Optional[Engine] = None,
+    audit: Optional[bool] = None,
+) -> Tuple[MemoryNetworkSystem, SimResult]:
+    """Build and run one system directly (no ambient-runner memoization).
+
+    Returns ``(system, result)`` so tests can inspect internals after
+    the run.  ``audit=None`` follows the ambient repro.check flag, so
+    the whole suite can be re-run audited via ``REPRO_AUDIT=1``.
+    """
+    system = MemoryNetworkSystem(
+        config if config is not None else small_config(),
+        workload if workload is not None else fast_workload(),
+        requests=requests,
+        engine=engine,
+        audit=audit,
+    )
+    return system, system.run()
+
+
+def run_sim(
+    config: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadSpec] = None,
+    requests: int = 200,
+    **kwargs,
+) -> SimResult:
+    """:func:`run_system` for tests that only need the result."""
+    return run_system(config, workload, requests, **kwargs)[1]
+
+
+def sim_digest(
+    config: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadSpec] = None,
+    requests: int = 150,
+    scheduler: str = "wheel",
+    **kwargs,
+) -> Tuple[str, int]:
+    """Lossless result digest + event count of one direct run."""
+    _, result = run_system(
+        config, workload, requests, engine=Engine(scheduler), **kwargs
+    )
+    return result_digest(result), result.events_processed
 
 
 @pytest.fixture

@@ -1,0 +1,66 @@
+"""Replay the golden regression corpus at tier-1 scale.
+
+Every matrix case re-simulates (with invariant audits on) and must
+reproduce its checked-in digest bit for bit.  The experiment corpus is
+spot-checked here — the full sweep runs in CI and via
+``tools/regen_goldens.py --check`` — but its *coverage* is enforced:
+registering a new experiment without regenerating the corpus fails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.goldens import (
+    compute_experiments,
+    diff_goldens,
+    matrix_cases,
+    run_matrix_case,
+)
+from repro.experiments.registry import experiment_ids
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+_CASES = matrix_cases()
+
+#: Cheap, structurally diverse spot-checks of the experiment corpus.
+SPOT_EXPERIMENTS = ["fig04", "fig10", "analysis_parking_lot"]
+
+
+def _load(name: str) -> dict:
+    return json.loads((GOLDENS / f"{name}.json").read_text())
+
+
+class TestMatrixGoldens:
+    @pytest.mark.parametrize(
+        "name,config", _CASES, ids=[name for name, _ in _CASES]
+    )
+    def test_case_reproduces_golden(self, name, config):
+        recorded = _load("matrix")
+        assert name in recorded, (
+            f"matrix case {name!r} has no golden; run "
+            "`python tools/regen_goldens.py --only matrix`"
+        )
+        entry = run_matrix_case(config, audit=True)
+        report = diff_goldens({name: recorded[name]}, {name: entry})
+        assert not report, "\n".join(report)
+
+    def test_no_orphan_goldens(self):
+        live = {name for name, _ in _CASES}
+        assert set(_load("matrix")) == live
+
+
+class TestExperimentGoldens:
+    def test_corpus_covers_registry(self):
+        assert sorted(_load("experiments")) == sorted(experiment_ids())
+
+    def test_spot_checks_reproduce(self):
+        recorded = _load("experiments")
+        current = compute_experiments(only=SPOT_EXPERIMENTS)
+        assert sorted(current) == sorted(SPOT_EXPERIMENTS)
+        subset = {name: recorded[name] for name in SPOT_EXPERIMENTS}
+        report = diff_goldens(subset, current)
+        assert not report, "\n".join(report)

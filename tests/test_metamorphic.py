@@ -1,0 +1,76 @@
+"""Metamorphic tests: known input transformations, predictable outputs.
+
+Rather than pinning absolute numbers, these tests apply a relation the
+simulator must preserve — double the work, zero out the faults — and
+check the output moves (or does not move) accordingly.  They catch the
+class of bug where every individual component is plausible but the
+system-level behaviour drifts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serialization import result_digest
+
+from conftest import fast_workload, run_sim, small_config
+
+
+def _uncontended():
+    """A chain workload with no queuing pressure: one request in flight,
+    long gaps, so per-request latency is intensity-independent."""
+    config = small_config(topology="chain")
+    workload = fast_workload(mean_gap_ns=30.0, burst_size=1.0, mlp=1)
+    return config, workload
+
+
+class TestRequestScaling:
+    def test_doubling_requests_keeps_mean_latency(self):
+        """At fixed intensity the per-request mean is a property of the
+        *system*, not the run length; doubling total_requests may only
+        move it by warmup noise (measured spread is ~2%)."""
+        config, workload = _uncontended()
+        half = run_sim(config, workload, 300)
+        full = run_sim(config, workload, 600)
+        assert full.mean_latency_ns == pytest.approx(
+            half.mean_latency_ns, rel=0.10
+        )
+
+    def test_doubling_requests_doubles_runtime(self):
+        config, workload = _uncontended()
+        half = run_sim(config, workload, 300)
+        full = run_sim(config, workload, 600)
+        assert full.runtime_ps == pytest.approx(2 * half.runtime_ps, rel=0.15)
+        assert full.events_processed > half.events_processed
+
+
+class TestFaultPlanIdentity:
+    def test_zero_ber_plan_is_digest_identical_to_faults_off(self):
+        """A plan that cannot fire (BER 0, nothing else) is *disabled*:
+        no injector attaches and the run is bit-identical."""
+        workload = fast_workload()
+        plain = run_sim(small_config(), workload, 150)
+        zeroed = run_sim(
+            small_config().with_ras(bit_error_rate=0.0), workload, 150
+        )
+        assert result_digest(plain) == result_digest(zeroed)
+
+    def test_inert_enabled_plan_changes_nothing_but_bookkeeping(self):
+        """A zero-*rate* per-link override still counts as enabled (the
+        injector attaches and reports its counters), so the digest gains
+        RAS keys — but the simulation itself must be untouched."""
+        workload = fast_workload()
+        plain = run_sim(small_config(topology="ring"), workload, 150)
+        inert = run_sim(
+            small_config(topology="ring").with_ras(
+                link_error_rates=((1, 2, 0.0),)
+            ),
+            workload,
+            150,
+        )
+        assert inert.extra.get("ras.crc_errors", 0) == 0
+        assert inert.extra["ras.replays"] == 0
+        assert inert.runtime_ps == plain.runtime_ps
+        assert inert.events_processed == plain.events_processed
+        assert inert.mean_latency_ns == plain.mean_latency_ns
+        assert inert.transactions == plain.transactions

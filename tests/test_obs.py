@@ -31,16 +31,8 @@ from repro.serialization import (
     result_to_state,
 )
 from repro.sim.stats import Histogram
-from repro.system import MemoryNetworkSystem
 
-from conftest import fast_workload, small_config
-
-
-def run_system(config, requests=200, workload=None):
-    system = MemoryNetworkSystem(
-        config, workload or fast_workload(), requests=requests
-    )
-    return system, system.run()
+from conftest import fast_workload, run_system, small_config
 
 
 # ---------------------------------------------------------------------------

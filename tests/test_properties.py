@@ -1,12 +1,17 @@
 """Property-based tests (hypothesis) on core data structures."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.host.address_map import AddressMap, smooth_weighted_order
 from repro.net.routing import RouteClass, RouteTable, bfs_paths
+from repro.runner import ParallelRunner, SimJob
+from repro.runner.cache import ResultCache
+from repro.serialization import result_digest
 from repro.sim.engine import Engine
 from repro.sim.random import derive_seed
+from repro.sim.stats import Histogram
 from repro.topology import (
     build_chain,
     build_metacube,
@@ -17,6 +22,8 @@ from repro.topology import (
 from repro.topology.base import HOST_ID
 from repro.topology.skiplist import plan_skip_links
 from repro.units import GIB_BYTES
+
+from conftest import fast_workload, small_config
 
 BUILDERS = {
     "chain": build_chain,
@@ -163,3 +170,121 @@ def test_skiplist_reads_never_slower_than_chain(count):
     for position, cube in enumerate(topo.cube_ids()):
         chain_distance = position + 1
         assert len(paths[cube]) - 1 <= chain_distance
+
+
+# --- histograms --------------------------------------------------------------
+_HIST_WIDTH = 50.0
+_HIST_BUCKETS = 16
+
+_samples = st.lists(
+    st.floats(
+        min_value=-500.0,
+        max_value=5_000.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    max_size=50,
+)
+
+
+def _hist(samples):
+    hist = Histogram(_HIST_WIDTH, _HIST_BUCKETS)
+    for sample in samples:
+        hist.add(sample)
+    return hist
+
+
+def _hist_key(hist):
+    """The exact (non-Welford) state of a histogram."""
+    return (tuple(hist.buckets), hist.underflow, hist.overflow, hist.count)
+
+
+def _assert_hist_equal(left, right):
+    assert _hist_key(left) == _hist_key(right)
+    assert left.stat.min == right.stat.min
+    assert left.stat.max == right.stat.max
+    # Welford merges are exact in exact arithmetic; allow float noise.
+    assert left.stat.total == pytest.approx(right.stat.total)
+    assert left.stat.mean == pytest.approx(right.stat.mean)
+    assert left.stat.variance == pytest.approx(right.stat.variance, abs=1e-6)
+
+
+@given(a=_samples, b=_samples)
+@settings(max_examples=60)
+def test_histogram_merge_commutes(a, b):
+    ab = _hist(a)
+    ab.merge(_hist(b))
+    ba = _hist(b)
+    ba.merge(_hist(a))
+    _assert_hist_equal(ab, ba)
+
+
+@given(a=_samples, b=_samples, c=_samples)
+@settings(max_examples=60)
+def test_histogram_merge_associates(a, b, c):
+    left = _hist(a)
+    bc = _hist(b)
+    bc.merge(_hist(c))
+    left.merge(bc)
+    right = _hist(a)
+    right.merge(_hist(b))
+    right.merge(_hist(c))
+    _assert_hist_equal(left, right)
+    # and both equal the histogram of the concatenated stream, exactly
+    # on the bucket state
+    assert _hist_key(left) == _hist_key(_hist(a + b + c))
+
+
+@given(
+    samples=_samples.filter(bool),
+    lo=st.floats(min_value=0.01, max_value=1.0),
+    hi=st.floats(min_value=0.01, max_value=1.0),
+)
+@settings(max_examples=80)
+def test_histogram_percentiles_monotonic(samples, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    hist = _hist(samples)
+    assert hist.percentile(lo) <= hist.percentile(hi)
+
+
+@given(samples=_samples)
+@settings(max_examples=60)
+def test_histogram_binning_partitions_samples(samples):
+    hist = _hist(samples)
+    negatives = sum(1 for s in samples if s < 0)
+    beyond = sum(1 for s in samples if s >= _HIST_WIDTH * _HIST_BUCKETS)
+    assert hist.underflow == negatives
+    assert hist.overflow == beyond
+    assert sum(hist.buckets) + hist.underflow + hist.overflow == len(samples)
+    in_first = sum(1 for s in samples if 0 <= s < _HIST_WIDTH)
+    assert hist.buckets[0] == in_first
+
+
+# --- RAS seed determinism ----------------------------------------------------
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    )
+)
+@settings(max_examples=5, deadline=None)
+def test_fault_plan_draws_identical_serial_and_parallel(seeds):
+    """The fault RNG is seed-derived per job, so worker-process layout
+    (and completion order) must never change a noisy run's bits."""
+    jobs = [
+        SimJob(
+            config=small_config(
+                topology="ring", seed=seed
+            ).with_ras(bit_error_rate=1e-6),
+            workload=fast_workload(),
+            requests=60,
+        )
+        for seed in seeds
+    ]
+    serial = ParallelRunner(jobs=1, cache=ResultCache()).run(jobs)
+    parallel = ParallelRunner(jobs=2, cache=ResultCache()).run(jobs)
+    for left, right in zip(serial, parallel):
+        assert result_digest(left) == result_digest(right)

@@ -9,7 +9,6 @@ import warnings
 
 import pytest
 
-from repro.config import SystemConfig
 from repro.errors import ConfigError, RunnerError
 from repro.ras import FaultPlan
 from repro.runner import JobFailure, ParallelRunner, SimJob
@@ -19,14 +18,8 @@ from repro.serialization import result_digest
 from repro.sweep import Sweep
 from repro.system import MemoryNetworkSystem
 from repro.units import GIB_BYTES
-from repro.workloads import WorkloadSpec
 
-from conftest import fast_workload, small_config
-
-
-def _run(config: SystemConfig, workload: WorkloadSpec, requests: int):
-    """Simulate without the ambient runner's memoization."""
-    return MemoryNetworkSystem(config, workload, requests=requests).run()
+from conftest import fast_workload, run_sim, run_system, small_config
 
 
 # ---------------------------------------------------------------------------
@@ -107,15 +100,15 @@ class TestFaultPlanValidation:
 class TestTransientErrors:
     def test_replays_reconcile_with_crc_errors(self):
         config = small_config(topology="ring").with_ras(bit_error_rate=1e-5)
-        result = _run(config, fast_workload(), 200)
+        result = run_sim(config, fast_workload(), 200)
         assert result.extra["ras.crc_errors"] > 0
         assert result.extra["ras.replays"] == result.extra["ras.crc_errors"]
         assert result.availability == 1.0
 
     def test_retry_costs_runtime(self):
         workload = fast_workload()
-        healthy = _run(small_config(topology="ring"), workload, 200)
-        noisy = _run(
+        healthy = run_sim(small_config(topology="ring"), workload, 200)
+        noisy = run_sim(
             small_config(topology="ring").with_ras(bit_error_rate=1e-5),
             workload,
             200,
@@ -125,10 +118,10 @@ class TestTransientErrors:
     def test_same_seed_same_digest(self):
         config = small_config(topology="ring").with_ras(bit_error_rate=1e-6)
         workload = fast_workload()
-        first = _run(config, workload, 150)
-        second = _run(config, workload, 150)
+        first = run_sim(config, workload, 150)
+        second = run_sim(config, workload, 150)
         assert result_digest(first) == result_digest(second)
-        healthy = _run(small_config(topology="ring"), workload, 150)
+        healthy = run_sim(small_config(topology="ring"), workload, 150)
         assert result_digest(first) != result_digest(healthy)
 
     def test_serial_and_parallel_bit_identical(self):
@@ -151,8 +144,8 @@ class TestTransientErrors:
     def test_ras_off_is_bit_identical(self):
         # An explicit all-zero plan must not perturb the simulation.
         workload = fast_workload()
-        plain = _run(small_config(), workload, 150)
-        zeroed = _run(small_config().with_ras(bit_error_rate=0.0), workload, 150)
+        plain = run_sim(small_config(), workload, 150)
+        zeroed = run_sim(small_config().with_ras(bit_error_rate=0.0), workload, 150)
         assert result_digest(plain) == result_digest(zeroed)
         assert plain.requests_failed == 0
         assert plain.availability == 1.0
@@ -165,7 +158,7 @@ class TestPermanentFailures:
     REQUESTS = 250
 
     def _mid_run_failure(self, config, edge, workload):
-        healthy = _run(config, workload, self.REQUESTS)
+        healthy = run_sim(config, workload, self.REQUESTS)
         when = max(healthy.runtime_ps // 2, 1)
         return healthy, config.with_ras(link_failures=((edge[0], edge[1], when),))
 
@@ -176,10 +169,9 @@ class TestPermanentFailures:
             config, workload, requests=1
         ).route_table.mean_distance()
         _, broken_config = self._mid_run_failure(config, (1, 2), workload)
-        system = MemoryNetworkSystem(
+        system, result = run_system(
             broken_config, workload, requests=self.REQUESTS
         )
-        result = system.run()
         assert result.requests_failed == 0
         assert result.availability == 1.0
         assert result.collector.count == self.REQUESTS
@@ -191,7 +183,7 @@ class TestPermanentFailures:
         workload = fast_workload()
         config = small_config(topology="chain")
         _, broken_config = self._mid_run_failure(config, (2, 3), workload)
-        result = _run(broken_config, workload, self.REQUESTS)
+        result = run_sim(broken_config, workload, self.REQUESTS)
         assert result.requests_failed > 0
         assert 0.0 < result.availability < 1.0
         assert (
@@ -204,7 +196,7 @@ class TestPermanentFailures:
             topology="skiplist", total_capacity_bytes=2048 * GIB_BYTES
         )
         _, broken_config = self._mid_run_failure(config, (2, 3), workload)
-        result = _run(broken_config, workload, self.REQUESTS)
+        result = run_sim(broken_config, workload, self.REQUESTS)
         # Reads reroute over skip links; writes past the cut are pinned
         # to the central chain and fail.
         assert result.requests_failed > 0
@@ -213,9 +205,9 @@ class TestPermanentFailures:
     def test_cube_failure_kills_incident_links(self):
         workload = fast_workload()
         config = small_config(topology="ring")
-        healthy = _run(config, workload, self.REQUESTS)
+        healthy = run_sim(config, workload, self.REQUESTS)
         when = max(healthy.runtime_ps // 2, 1)
-        result = _run(
+        result = run_sim(
             config.with_ras(cube_failures=((3, when),)),
             workload,
             self.REQUESTS,
@@ -229,8 +221,8 @@ class TestPermanentFailures:
         config = small_config(topology="chain").with_ras(
             link_failures=((2, 3, 500_000),)
         )
-        first = _run(config, workload, self.REQUESTS)
-        second = _run(config, workload, self.REQUESTS)
+        first = run_sim(config, workload, self.REQUESTS)
+        second = run_sim(config, workload, self.REQUESTS)
         assert result_digest(first) == result_digest(second)
 
     def test_availability_survives_state_roundtrip(self):
@@ -240,7 +232,7 @@ class TestPermanentFailures:
         config = small_config(topology="chain").with_ras(
             link_failures=((2, 3, 500_000),)
         )
-        result = _run(config, workload, self.REQUESTS)
+        result = run_sim(config, workload, self.REQUESTS)
         restored = result_from_state(result_to_state(result))
         assert restored.requests_failed == result.requests_failed
         assert restored.availability == pytest.approx(result.availability)

@@ -5,28 +5,24 @@ throughput; the plain binary heap (``Engine("heap")``) is the reference.
 Both share the ``(time, seq)`` ordering contract, so every simulation
 must produce bit-identical results — same digest, same event count —
 regardless of which scheduler dispatched it, across every topology and
-with the observability and RAS layers on or off.
+with the observability and RAS layers on or off.  The property tests at
+the bottom drive the same contract with adversarial schedules: random
+delays biased onto the wheel-bucket boundaries, plus re-entrant
+scheduling from inside callbacks.
 """
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.serialization import result_digest
-from repro.sim.engine import Engine
+from repro.sim.engine import WHEEL_SHIFT, Engine
 from repro.system import MemoryNetworkSystem
 
-from conftest import fast_workload, small_config
+from conftest import fast_workload, sim_digest, small_config
 
 TOPOLOGIES = ("chain", "ring", "skiplist", "metacube")
-
-
-def _digest(config, requests, scheduler):
-    system = MemoryNetworkSystem(
-        config, fast_workload(), requests=requests, engine=Engine(scheduler)
-    )
-    result = system.run()
-    return result_digest(result), result.events_processed
 
 
 @pytest.mark.parametrize("topology", TOPOLOGIES)
@@ -40,8 +36,8 @@ def test_wheel_matches_heap(topology, obs, ras):
         # A noisy plan exercises link replays; the draw is seed-derived,
         # so both schedulers must see identical fault sequences.
         config = config.with_ras(bit_error_rate=1e-6)
-    wheel, wheel_events = _digest(config, 150, "wheel")
-    heap, heap_events = _digest(config, 150, "heap")
+    wheel, wheel_events = sim_digest(config, requests=150, scheduler="wheel")
+    heap, heap_events = sim_digest(config, requests=150, scheduler="heap")
     assert wheel == heap
     assert wheel_events == heap_events
 
@@ -51,15 +47,70 @@ def test_wheel_matches_heap_across_far_horizon():
     quiet workload forces refills and must still match the heap."""
     config = small_config()
     workload = fast_workload(mean_gap_ns=40.0, burst_size=1.0)
-    results = {}
-    for scheduler in ("wheel", "heap"):
-        system = MemoryNetworkSystem(
-            config, workload, requests=120, engine=Engine(scheduler)
-        )
-        results[scheduler] = result_digest(system.run())
-    assert results["wheel"] == results["heap"]
+    wheel, _ = sim_digest(config, workload, 120, scheduler="wheel")
+    heap, _ = sim_digest(config, workload, 120, scheduler="heap")
+    assert wheel == heap
 
 
 def test_default_engine_is_wheel():
     system = MemoryNetworkSystem(small_config(), fast_workload(), requests=1)
     assert system.engine.scheduler == "wheel"
+
+
+# ---------------------------------------------------------------------------
+# Property tests: adversarial schedules at the near/far boundary
+# ---------------------------------------------------------------------------
+WHEEL_PERIOD = 1 << WHEEL_SHIFT
+
+# Delays drawn either uniformly across a few wheel periods, or pinned to
+# within a couple of picoseconds of a bucket boundary ``k * 2**12`` —
+# exactly where a near/far filing mistake would change pop order.
+_delays = st.one_of(
+    st.integers(min_value=0, max_value=3 * WHEEL_PERIOD),
+    st.builds(
+        lambda k, off: max(0, k * WHEEL_PERIOD + off),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=-2, max_value=2),
+    ),
+)
+
+
+def _fire_log(scheduler, initial, chained):
+    """Run one schedule on ``scheduler`` and log ``(now, tag)`` pops.
+
+    ``chained`` maps fired events to follow-up delays, so callbacks
+    schedule new events mid-run — including into already-promoted near
+    windows and not-yet-filed far buckets.
+    """
+    engine = Engine(scheduler)
+    log = []
+    followups = {}
+    for child, (parent, delay) in enumerate(chained):
+        followups.setdefault(parent, []).append((child, delay))
+
+    def fire(eng, tag):
+        log.append((eng.now, tag))
+        if isinstance(tag, int):
+            for child, delay in followups.get(tag, ()):
+                eng.schedule(delay, fire, ("chained", child))
+
+    for tag, delay in enumerate(initial):
+        engine.schedule(delay, fire, tag)
+    engine.run()
+    assert engine.integrity_errors() == []
+    assert engine.pending == 0
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    initial=st.lists(_delays, min_size=1, max_size=24),
+    chained=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=23), _delays),
+        max_size=24,
+    ),
+)
+def test_wheel_pops_identically_to_heap(initial, chained):
+    assert _fire_log("wheel", initial, chained) == _fire_log(
+        "heap", initial, chained
+    )

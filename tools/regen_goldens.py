@@ -1,0 +1,126 @@
+"""Regenerate (or check) the golden regression corpus.
+
+The corpus definitions live in :mod:`repro.check.goldens`; the
+checked-in snapshots live in ``tests/goldens/``:
+
+* ``matrix.json`` — direct-simulation digests (topologies x modes x
+  arbiters, plus two permanent-failure scenarios),
+* ``experiments.json`` — smoke-scale digests of every registered
+  experiment's output data.
+
+Usage::
+
+    PYTHONPATH=src python tools/regen_goldens.py             # rewrite both
+    PYTHONPATH=src python tools/regen_goldens.py --check     # compare, no writes
+    PYTHONPATH=src python tools/regen_goldens.py --only matrix
+    PYTHONPATH=src python tools/regen_goldens.py --jobs 4    # experiment corpus
+
+``--check`` exits non-zero and prints a per-case diff report when the
+current build disagrees with the snapshots.  Every run executes with
+invariant audits enabled (``REPRO_AUDIT=1``), so a clean pass certifies
+both bit-stability and conservation.
+
+Policy: regenerating goldens is an explicit statement that the change
+in results is *intended*.  The PR doing so must say which cases moved
+and why — see ``docs/testing.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+GOLDENS_DIR = REPO / "tests" / "goldens"
+CORPORA = ("matrix", "experiments")
+
+
+def _load(name: str) -> dict:
+    path = GOLDENS_DIR / f"{name}.json"
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def _write(name: str, data: dict) -> Path:
+    GOLDENS_DIR.mkdir(parents=True, exist_ok=True)
+    path = GOLDENS_DIR / f"{name}.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _compute(name: str, jobs: int) -> dict:
+    from repro.check.goldens import compute_experiments, compute_matrix
+    from repro.runner import configure_runner
+
+    if name == "matrix":
+        return compute_matrix(audit=True)
+    # The experiment corpus goes through the ambient runner; keep the
+    # disk cache out of it so a stale entry can never mask a change.
+    configure_runner(jobs=jobs, persistent=False)
+    return compute_experiments()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate or verify the golden regression corpus."
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the checked-in snapshots instead of writing",
+    )
+    parser.add_argument(
+        "--only",
+        choices=CORPORA,
+        default=None,
+        help="restrict to one corpus (default: both)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment corpus (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    # Audits everywhere, including runner worker processes.
+    os.environ["REPRO_AUDIT"] = "1"
+    from repro.check.goldens import diff_goldens
+
+    names = [args.only] if args.only else list(CORPORA)
+    failed = False
+    for name in names:
+        started = time.time()
+        current = _compute(name, args.jobs)
+        elapsed = time.time() - started
+        if args.check:
+            recorded = _load(name)
+            report = diff_goldens(recorded, current)
+            if report:
+                failed = True
+                print(f"{name}: {len(report)} case(s) diverge "
+                      f"({elapsed:.1f}s):")
+                for line in report:
+                    print(f"  {line}")
+            else:
+                print(f"{name}: {len(current)} cases match ({elapsed:.1f}s)")
+        else:
+            recorded = _load(name)
+            report = diff_goldens(recorded, current)
+            path = _write(name, current)
+            print(f"{name}: wrote {len(current)} cases to {path} "
+                  f"({elapsed:.1f}s)")
+            for line in report:
+                print(f"  {line}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
