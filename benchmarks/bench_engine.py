@@ -3,21 +3,34 @@
 Runs one fig10-style configuration (chain topology, 1 TiB, KMEANS) and
 measures raw engine throughput along two axes —
 
-* scheduler: the two-tier timing ``wheel`` (default) vs the plain
-  binary ``heap`` it replaced, which doubles as the determinism
-  reference (both must produce identical result digests);
+* scheduler: the batched cohort ``batch`` engine, the two-tier timing
+  ``wheel`` (default), and the plain binary ``heap`` that doubles as
+  the determinism reference — all three must produce identical result
+  digests;
 * observability: off (the zero-overhead-when-off baseline), per-hop
   latency ``attribution``, and full event ``trace`` recording.
 
-Each cell reports the best of ``--repeats`` runs (events/second is a
-throughput: the minimum-noise run is the honest one on a shared
-machine).  Results land in ``BENCH_engine.json``; the CI smoke step
-asserts a tolerant floor on the wheel/off cell.
+Cells are measured in interleaved rounds (round-robin over every cell
+per repeat) so machine-load drift biases no single backend, and each
+cell reports the best round (events/second is a throughput: the
+minimum-noise run is the honest one on a shared machine).  The obs-off
+cells get ``--ratio-rounds`` extra interleaved rounds: the scheduler
+ratios (``wheel_vs_heap``, ``batch_vs_heap``) compare best-of
+estimates whose per-sample noise on a busy 1-CPU box exceeds the true
+scheduler differences, so those cells need more samples to converge.
+
+Results land in ``BENCH_engine.json`` together with the batch engine's
+cohort-size distribution (how much same-timestamp batching the workload
+actually exposes), the packet-pool recycling counters, and a
+timestamped ``trend`` list that accumulates one entry per benchmark run
+so regressions are visible across commits.  The CI smoke step asserts a
+tolerant floor on one scheduler's obs-off cell (``--gate-scheduler``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--requests N]
         [--repeats N] [--output PATH] [--min-events-per-s FLOOR]
+        [--gate-scheduler {wheel,heap,batch}]
 
 ``REPRO_BENCH_REQUESTS`` also scales the request count.
 """
@@ -25,10 +38,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import os
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.config import SystemConfig
@@ -41,29 +56,52 @@ from repro.workloads import get_workload
 DEFAULT_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "300")) * 4
 WORKLOAD = "KMEANS"
 BASE = SystemConfig(total_capacity_bytes=TIB_BYTES)
+TREND_KEEP = 50  # trend entries retained in BENCH_engine.json
 
 
-def measure(requests: int, config: SystemConfig, scheduler: str, repeats: int):
-    """Best-of-``repeats`` events/second for one (config, scheduler) cell."""
-    best = 0.0
-    result = None
-    for _ in range(repeats):
-        system = MemoryNetworkSystem(
-            config, get_workload(WORKLOAD), requests=requests,
-            engine=Engine(scheduler),
-        )
-        started = time.perf_counter()
-        result = system.run()
-        elapsed = time.perf_counter() - started
-        rate = result.events_processed / elapsed if elapsed else 0.0
-        best = max(best, rate)
-    return best, result
+def run_cell(requests: int, config: SystemConfig, scheduler: str):
+    """One timed run; returns (rate, result, system)."""
+    system = MemoryNetworkSystem(
+        config, get_workload(WORKLOAD), requests=requests,
+        engine=Engine(scheduler),
+    )
+    started = time.perf_counter()
+    result = system.run()
+    elapsed = time.perf_counter() - started
+    rate = result.events_processed / elapsed if elapsed else 0.0
+    return rate, result, system
+
+
+def load_trend(path: Path) -> list:
+    """Prior trend entries from an existing BENCH_engine.json, if any."""
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    trend = previous.get("trend")
+    if isinstance(trend, list):
+        return trend
+    # Pre-trend payloads: fold the old headline numbers into one entry.
+    if isinstance(previous.get("events_per_s"), dict):
+        return [{
+            "timestamp": None,
+            "requests": previous.get("requests"),
+            "events_per_s": previous["events_per_s"],
+        }]
+    return []
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--ratio-rounds",
+        type=int,
+        default=8,
+        help="extra interleaved rounds for the obs-off cells, tightening "
+        "the best-of estimates behind the scheduler ratios",
+    )
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
@@ -72,77 +110,145 @@ def main(argv=None) -> int:
         "--min-events-per-s",
         type=float,
         default=None,
-        help="fail (exit 1) if the wheel/obs-off rate falls below this "
-        "floor — the CI perf gate",
+        help="fail (exit 1) if the gated scheduler's obs-off rate falls "
+        "below this floor — the CI perf gate",
+    )
+    parser.add_argument(
+        "--gate-scheduler",
+        choices=("wheel", "heap", "batch"),
+        default="wheel",
+        help="which scheduler's obs-off cell the floor applies to",
     )
     args = parser.parse_args(argv)
 
+    schedulers = ["batch", "wheel", "heap"]
+    if importlib.util.find_spec("numpy") is None:
+        print("  (numpy not installed: skipping the batch engine)")
+        schedulers.remove("batch")
+    if args.gate_scheduler not in schedulers:
+        print(f"FAIL: cannot gate on unavailable {args.gate_scheduler}",
+              file=sys.stderr)
+        return 1
     configs = [
         ("off", BASE),
         ("attribution", BASE.with_obs(attribution=True)),
         ("traced", BASE.with_obs(attribution=True, trace=True)),
     ]
+    cells = [
+        (scheduler, obs_label, config)
+        for scheduler in schedulers
+        for obs_label, config in configs
+    ]
 
     print(
         f"bench_engine: {WORKLOAD} x requests={args.requests}, "
-        f"best of {args.repeats}",
+        f"best of {args.repeats} interleaved rounds",
         flush=True,
     )
-    rates = {}
+    rates = {f"{s}_{o}": 0.0 for s, o, _ in cells}
     digests = {}
     events = None
-    for scheduler in ("wheel", "heap"):
-        for obs_label, config in configs:
-            rate, result = measure(args.requests, config, scheduler, args.repeats)
-            rates[f"{scheduler}_{obs_label}"] = round(rate)
+    cohorts = None
+    pool_stats = None
+    for _round in range(args.repeats):
+        for scheduler, obs_label, config in cells:
+            rate, result, system = run_cell(args.requests, config, scheduler)
+            key = f"{scheduler}_{obs_label}"
+            rates[key] = max(rates[key], rate)
             if obs_label == "off":
                 digests[scheduler] = result_digest(result)
                 events = result.events_processed
+                if scheduler == "batch":
+                    cohorts = system.engine.cohort_stats()
+                    pool_stats = system.packet_pool.stats()
+    for _round in range(args.ratio_rounds):
+        for scheduler in schedulers:
+            rate, _result, _system = run_cell(args.requests, BASE, scheduler)
+            key = f"{scheduler}_off"
+            rates[key] = max(rates[key], rate)
+    rates = {key: round(rate) for key, rate in rates.items()}
+    for scheduler in schedulers:
+        for obs_label, _config in configs:
+            rate = rates[f"{scheduler}_{obs_label}"]
             print(f"  {scheduler:5s} / {obs_label:11s}: {rate / 1e3:7.0f}k events/s")
 
-    if digests["wheel"] != digests["heap"]:
+    reference = digests["heap"]
+    for scheduler, digest in digests.items():
+        if digest != reference:
+            print(
+                f"FAIL: {scheduler} and heap schedulers disagree "
+                f"({digest[:12]} != {reference[:12]})",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"  digests agree    : {reference[:16]} "
+        f"({'/'.join(schedulers)}, {events} events)"
+    )
+    if cohorts is not None:
         print(
-            "FAIL: wheel and heap schedulers disagree "
-            f"({digests['wheel'][:12]} != {digests['heap'][:12]})",
-            file=sys.stderr,
+            f"  batch cohorts    : mean {cohorts['mean_cohort']:.2f} over "
+            f"{cohorts['cohorts']} cohorts in {cohorts['windows']} windows "
+            f"({cohorts['spilled_events']} spilled)"
         )
-        return 1
-    print(f"  digests agree    : {digests['wheel'][:16]} ({events} events)")
+    if pool_stats is not None:
+        print(
+            f"  packet pool      : {pool_stats['acquired']} acquired, "
+            f"{pool_stats['recycled']} recycled "
+            f"(freelist {pool_stats['freelist']})"
+        )
 
+    def ratio(a: str, b: str):
+        return round(rates[a] / rates[b], 3) if rates.get(b) else None
+
+    def overhead(scheduler: str, obs_label: str):
+        base = rates.get(f"{scheduler}_off")
+        if not base:
+            return None
+        return round(1 - rates[f"{scheduler}_{obs_label}"] / base, 3)
+
+    output = Path(args.output)
     payload = {
         "workload": WORKLOAD,
         "requests": args.requests,
         "repeats": args.repeats,
         "cpus": os.cpu_count(),
         "events_processed": events,
-        "result_digest": digests["wheel"],
+        "result_digest": reference,
         "events_per_s": rates,
-        "wheel_vs_heap": (
-            round(rates["wheel_off"] / rates["heap_off"], 3)
-            if rates["heap_off"] else None
+        "wheel_vs_heap": ratio("wheel_off", "heap_off"),
+        "batch_vs_heap": (
+            ratio("batch_off", "heap_off") if "batch" in schedulers else None
         ),
-        "attribution_overhead": (
-            round(1 - rates["wheel_attribution"] / rates["wheel_off"], 3)
-            if rates["wheel_off"] else None
+        "attribution_overhead": overhead("wheel", "attribution"),
+        "trace_overhead": overhead("wheel", "traced"),
+        "batch_attribution_overhead": (
+            overhead("batch", "attribution") if "batch" in schedulers else None
         ),
-        "trace_overhead": (
-            round(1 - rates["wheel_traced"] / rates["wheel_off"], 3)
-            if rates["wheel_off"] else None
-        ),
+        "cohorts": cohorts,
+        "packet_pool": pool_stats,
+        "trend": (load_trend(output) + [{
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "requests": args.requests,
+            "events_per_s": rates,
+        }])[-TREND_KEEP:],
     }
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
 
     if args.min_events_per_s is not None:
-        if rates["wheel_off"] < args.min_events_per_s:
+        gate_key = f"{args.gate_scheduler}_off"
+        if rates[gate_key] < args.min_events_per_s:
             print(
-                f"FAIL: wheel/off {rates['wheel_off']} events/s below the "
+                f"FAIL: {gate_key} {rates[gate_key]} events/s below the "
                 f"floor of {args.min_events_per_s:g}",
                 file=sys.stderr,
             )
             return 1
         print(
-            f"  perf gate        : {rates['wheel_off']} >= "
+            f"  perf gate        : {gate_key} {rates[gate_key]} >= "
             f"{args.min_events_per_s:g} events/s OK"
         )
     return 0

@@ -36,7 +36,7 @@ class ArbiterContext:
         For responses this is the cube that produced them; for requests
         the destination cube (both derivable from the header flit).
         """
-        if packet.kind.is_response:
+        if packet.is_resp:
             return packet.src
         return packet.dest
 

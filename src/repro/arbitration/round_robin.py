@@ -22,6 +22,12 @@ class RoundRobinArbiter(OutputArbiter):
     def pick(self, now_ps: int, candidates: List[Candidate]) -> int:
         # Choose the first candidate whose input index is >= the
         # rotating pointer (wrapping), then advance the pointer past it.
+        if len(candidates) == 1:
+            # Uncontended round: same outcome as the scan below.  The
+            # pointer still advances — that is part of the arbitration
+            # state and must not depend on the engine backend.
+            self._pointer = candidates[0][0] + 1
+            return 0
         best_pos = 0
         best_rank = None
         for pos, (index, _packet) in enumerate(candidates):

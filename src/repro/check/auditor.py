@@ -101,6 +101,7 @@ class InvariantAuditor:
         self._check_routers(out)
         self._check_controllers(out)
         self._check_port(out, final=point == "final")
+        self._check_pool(out)
         self._check_ras(out)
         if point == "final":
             self._check_final(out)
@@ -239,7 +240,22 @@ class InvariantAuditor:
                     f"{granted} grants != {popped} pops across inputs",
                 ))
             for queue in router.inputs:
-                for packet in queue.packets():
+                packets = queue.packets()
+                if packets:
+                    head = packets[0]
+                    hop = head.hop_index + 1
+                    expected = (
+                        head.route[hop] if hop < len(head.route) else -1
+                    )
+                else:
+                    expected = None
+                if queue.head_key != expected:
+                    out.append((
+                        "queue.head_key", queue.name,
+                        f"cached head key {queue.head_key} != computed "
+                        f"{expected} (stale after an in-place reroute?)",
+                    ))
+                for packet in packets:
                     if not 0 <= packet.hop_index < len(packet.route):
                         out.append((
                             "packet.route", queue.name,
@@ -268,6 +284,54 @@ class InvariantAuditor:
                         f"{controller._reserved} reserved > depth "
                         f"{controller.queue_depth}",
                     ))
+
+    def _check_pool(self, out: List[Violation]) -> None:
+        """Packet-pool safety: no freed packet may still be resident.
+
+        The visible resident population is the router input queues plus
+        the controllers' bank queues and response buffers; packets in
+        flight on links or referenced only by scheduled events are live
+        but invisible, so the conservation check is a lower bound.
+        """
+        pool = getattr(self.system, "packet_pool", None)
+        if pool is None:
+            return
+        resident = 0
+        for queue in self._iter_queues():
+            for packet in queue.packets():
+                resident += 1
+                if packet.freed:
+                    out.append((
+                        "pool.use_after_free", queue.name,
+                        f"freed packet #{packet.pid} still queued",
+                    ))
+        for cube in self.system.cubes.values():
+            for controller in cube.controllers:
+                for packet in controller._queue:
+                    resident += 1
+                    if packet.freed:
+                        out.append((
+                            "pool.use_after_free", controller.name,
+                            f"freed packet #{packet.pid} in bank queue",
+                        ))
+                for packet in controller._pending_responses:
+                    resident += 1
+                    if packet.freed:
+                        out.append((
+                            "pool.use_after_free", controller.name,
+                            f"freed packet #{packet.pid} in response buffer",
+                        ))
+        if pool.live < resident:
+            out.append((
+                "pool.conservation", "pool",
+                f"pool live count {pool.live} < {resident} resident "
+                f"packets visible in queues/buffers",
+            ))
+        if pool.released > pool.acquired:
+            out.append((
+                "pool.conservation", "pool",
+                f"released {pool.released} > acquired {pool.acquired}",
+            ))
 
     def _check_port(self, out: List[Violation], final: bool) -> None:
         port = self.system.port

@@ -72,6 +72,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "results and cache entries are unchanged)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("heap", "wheel", "batch"),
+        default=None,
+        help="event-scheduler backend (exported as REPRO_ENGINE so worker "
+        "processes use it too; results, digests and cache entries are "
+        "identical across backends — batch needs the numpy extra)",
+    )
+    parser.add_argument(
         "--profile",
         metavar="PATH",
         nargs="?",
@@ -85,6 +93,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.audit:
         os.environ["REPRO_AUDIT"] = "1"
+    if args.engine:
+        os.environ["REPRO_ENGINE"] = args.engine
 
     if args.experiment == "list":
         for experiment_id in experiment_ids():

@@ -25,11 +25,19 @@ from repro.errors import WorkloadError
 from repro.host.address_map import AddressMap
 from repro.host.directory import Directory
 from repro.net.buffers import InputQueue
-from repro.net.packet import Packet, Transaction, request_packet
+from repro.net.packet import Packet, Transaction
+from repro.net.pool import PacketPool
 from repro.net.routing import RouteClass, RouteTable
 from repro.net.router import Router
+from repro.obs.attribution import segment_code
 from repro.sim.engine import Engine
 from repro.workloads.base import Request
+
+# Interned attribution labels (repro.obs); the port's labels carry no
+# location detail, so they are interned once at import.
+_SEG_REQ_PORT = segment_code("req.port")
+_SEG_REQ_INJECT = segment_code("req.inject")
+_SEG_RESP_PORT = segment_code("resp.port")
 
 
 class HostPort:
@@ -48,6 +56,7 @@ class HostPort:
         router: Router,
         on_transaction_done: Callable[[Engine, Transaction], None],
         window: Optional[int] = None,
+        pool: Optional[PacketPool] = None,
     ) -> None:
         self.port_id = port_id
         self.config = config
@@ -59,6 +68,9 @@ class HostPort:
         self.inject_queue = inject_queue
         self.router = router
         self.on_transaction_done = on_transaction_done
+        # Normally the system-wide shared pool; directly-constructed
+        # ports (unit tests) get a private one.
+        self.pool = pool if pool is not None else PacketPool()
         self.window = (
             config.host.max_outstanding_per_port
             if window is None
@@ -79,6 +91,10 @@ class HostPort:
         self.issued = 0
         self.completed = 0
         self.generated = 0
+        # Maintained eagerly (see _update_done): the engine's stop
+        # predicate reads this once per event, so it must be a plain
+        # attribute, not a property recomputing the sum.
+        self.done = total_requests <= 0
         # per-kind conservation counters (repro.check): at end of run
         # generated_k == completed_k + failed_k must hold for each kind
         self.generated_reads = 0
@@ -263,10 +279,10 @@ class HostPort:
         seg = txn.segments
         if seg is not None:
             reached_port = txn.start_ps + self.config.host.port_latency_ps
-            seg.append(("req.port", txn.start_ps, reached_port))
+            seg.append((_SEG_REQ_PORT, txn.start_ps, reached_port))
             if engine.now > reached_port:
-                seg.append(("req.inject", reached_port, engine.now))
-        packet = request_packet(self.config.packet, txn, engine.now)
+                seg.append((_SEG_REQ_INJECT, reached_port, engine.now))
+        packet = self.pool.request_packet(self.config.packet, txn, engine.now)
         packet.src = self.route_table.host_id
         packet.dest = txn.dest_cube
         route_class = self._route_class_for(txn)
@@ -306,8 +322,11 @@ class HostPort:
             # the transaction was already errored (its slot/directory
             # state is long released), so the late data is dropped.
             self.late_responses += 1
+            self.pool.release(packet)
             return
         txn.response_hops = packet.hops_traversed
+        # The packet's job ends here — completion rides the transaction.
+        self.pool.release(packet)
         # the response still has to cross the chip back to the core
         engine.schedule(self.config.host.port_latency_ps, self._complete, txn)
 
@@ -318,13 +337,14 @@ class HostPort:
         txn.complete_ps = engine.now
         if txn.segments is not None:
             seg_start = engine.now - self.config.host.port_latency_ps
-            txn.segments.append(("resp.port", seg_start, engine.now))
+            txn.segments.append((_SEG_RESP_PORT, seg_start, engine.now))
         self._release_claims(txn)
         self.completed += 1
         if txn.is_write:
             self.completed_writes += 1
         else:
             self.completed_reads += 1
+        self._update_done()
         self.on_transaction_done(engine, txn)
         self.try_inject(engine)
 
@@ -354,6 +374,7 @@ class HostPort:
             self.failed_writes += 1
         else:
             self.failed_reads += 1
+        self._update_done()
         self.on_transaction_done(engine, txn)
 
     def _fail_unissued(self, engine: Engine, txn: Transaction) -> None:
@@ -410,6 +431,6 @@ class HostPort:
     def outstanding(self) -> int:
         return self.outstanding_reads + self.outstanding_writes
 
-    @property
-    def done(self) -> bool:
-        return self.completed + self.failed >= self.total_requests
+    def _update_done(self) -> None:
+        """Refresh the cached termination flag after a completion/error."""
+        self.done = self.completed + self.failed >= self.total_requests

@@ -16,8 +16,10 @@ from repro.config import PacketConfig
 from repro.memory.bank import Bank
 from repro.memory.timing import AccessPlan, TimingModel
 from repro.net.buffers import InputQueue
-from repro.net.packet import Packet, response_packet
+from repro.net.packet import Packet
+from repro.net.pool import PacketPool
 from repro.net.router import LOCAL, Router
+from repro.obs.attribution import segment_code
 from repro.sim.engine import Engine
 
 
@@ -36,6 +38,7 @@ class QuadrantController:
         packet_config: PacketConfig,
         refresh_offset_ps: int = 0,
         scheduling: str = "fcfs",
+        pool: Optional[PacketPool] = None,
     ) -> None:
         self.name = name
         self.timing = timing
@@ -47,10 +50,18 @@ class QuadrantController:
         self.router = router
         self.route_response = route_response
         self.packet_config = packet_config
+        # Normally the system-wide shared pool; directly-constructed
+        # controllers (unit tests) get a private one.
+        self.pool = pool if pool is not None else PacketPool()
         self.refresh_offset_ps = refresh_offset_ps
         if scheduling not in ("fcfs", "frfcfs"):
             raise ValueError(f"unknown scheduling policy {scheduling!r}")
         self.scheduling = scheduling
+        # Interned attribution labels (repro.obs): the issue/inject hot
+        # paths append integer codes, not per-event f-strings.
+        self._seg_queue = segment_code(f"mem.queue.{name}")
+        self._seg_array = segment_code(f"mem.array.{name}")
+        self._seg_stall = segment_code(f"resp.stall.{name}")
 
         self._queue: List[Packet] = []
         self._reserved = 0
@@ -141,8 +152,8 @@ class QuadrantController:
             now = engine.now
             mark = packet.obs_mark
             if mark is not None and now > mark:
-                txn.segments.append((f"mem.queue.{self.name}", mark, now))
-            txn.segments.append((f"mem.array.{self.name}", now, plan.data_ready_ps))
+                txn.segments.append((self._seg_queue, mark, now))
+            txn.segments.append((self._seg_array, now, plan.data_ready_ps))
         if self.tracer is not None:
             self.tracer.mem_access(
                 self.name, engine.now, plan.data_ready_ps, plan.row_hit, is_write
@@ -162,16 +173,21 @@ class QuadrantController:
             self.reads += 1
         if plan.row_hit:
             self.row_hits += 1
-        response = response_packet(self.packet_config, packet, engine.now)
+        response = self.pool.response_packet(self.packet_config, packet, engine.now)
         response.source_tech = self.timing.tech.name
         if txn.segments is not None:
             response.obs_mark = engine.now  # inject-stall clock starts here
+        # The request carcass is dead once the response exists; recycle
+        # it before the injection cascade below can allocate.
+        self.pool.release(packet)
         # route_response returns False only when a RAS permanent failure
         # cut this cube off from the host — the response is then lost
         # (the host errors the transaction on its side).
         if self.route_response(response) is not False:
             self._pending_responses.append(response)
             self._try_inject(engine)
+        else:
+            self.pool.release(response)
         self._kick(engine)
 
     # -- response path ---------------------------------------------------------
@@ -182,9 +198,7 @@ class QuadrantController:
             if txn.segments is not None:
                 mark = response.obs_mark
                 if mark is not None and engine.now > mark:
-                    txn.segments.append(
-                        (f"resp.stall.{self.name}", mark, engine.now)
-                    )
+                    txn.segments.append((self._seg_stall, mark, engine.now))
             self.inject_queue.push(response, engine.now)
             self.router.packet_arrived(engine, self.inject_queue)
 
@@ -197,8 +211,14 @@ class QuadrantController:
         ``keep_or_fix`` may rewrite a response's route in place; a False
         return drops it.  Returns the number of responses dropped.
         """
-        kept = [r for r in self._pending_responses if keep_or_fix(r)]
-        dropped = len(self._pending_responses) - len(kept)
+        kept = []
+        dropped = 0
+        for response in self._pending_responses:
+            if keep_or_fix(response):
+                kept.append(response)
+            else:
+                dropped += 1
+                self.pool.release(response)
         self._pending_responses = kept
         return dropped
 

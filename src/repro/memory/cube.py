@@ -8,14 +8,16 @@ quadrant than their target (Section 5).
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.config import CubeConfig, MemTechConfig, PacketConfig
 from repro.memory.controller import QuadrantController
+from repro.net.pool import PacketPool
 from repro.memory.timing import TimingModel
 from repro.net.buffers import InputQueue
 from repro.net.packet import Packet
 from repro.net.router import Router, LocalOutput, LOCAL
+from repro.obs.attribution import segment_code
 from repro.sim.engine import Engine
 
 LOCAL_INPUTS = 4  # response-injection queues, one per quadrant
@@ -33,6 +35,7 @@ class MemoryCube:
         router: Router,
         route_response: Callable[[Packet], None],
         bank_scale: float = 1.0,
+        pool: Optional[PacketPool] = None,
     ) -> None:
         self.node_id = node_id
         self.tech = tech
@@ -63,9 +66,12 @@ class MemoryCube:
                 packet_config=packet_config,
                 refresh_offset_ps=offset,
                 scheduling=cube_config.scheduling,
+                pool=pool,
             )
             self.controllers.append(controller)
         router.add_output(LOCAL, LocalOutput(self._accept, self._deliver))
+        # Interned attribution label (repro.obs)
+        self._seg_xbar = segment_code(f"mem.xbar.cube{node_id}")
 
     # ------------------------------------------------------------------
     def start(self, engine: Engine) -> None:
@@ -93,11 +99,7 @@ class MemoryCube:
         if penalty:
             if txn.segments is not None:
                 txn.segments.append(
-                    (
-                        f"mem.xbar.cube{self.node_id}",
-                        engine.now,
-                        engine.now + penalty,
-                    )
+                    (self._seg_xbar, engine.now, engine.now + penalty)
                 )
             engine.schedule(penalty, controller.receive, packet)
         else:

@@ -3,6 +3,7 @@
 from repro.net.packet import Packet, PacketKind
 from repro.net.link import Link
 from repro.net.buffers import InputQueue
+from repro.net.pool import PacketPool
 from repro.net.routing import RouteTable, RouteClass
 from repro.net.router import Router
 
@@ -11,6 +12,7 @@ __all__ = [
     "PacketKind",
     "Link",
     "InputQueue",
+    "PacketPool",
     "RouteTable",
     "RouteClass",
     "Router",

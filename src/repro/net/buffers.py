@@ -7,6 +7,7 @@ from typing import Deque, Optional
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet
+from repro.obs.attribution import segment_code
 
 
 class InputQueue:
@@ -24,6 +25,7 @@ class InputQueue:
         "capacity",
         "_items",
         "_entry_times",
+        "head_key",
         "upstream_link",
         "on_drain",
         "peak_occupancy",
@@ -33,13 +35,26 @@ class InputQueue:
         "popped",
         "removed_count",
         "tracer",
+        "_seg_req",
+        "_seg_resp",
     )
 
     def __init__(self, name: str, capacity: Optional[int]) -> None:
         self.name = name
         self.capacity = capacity
+        # Interned attribution labels (repro.obs): computed once here so
+        # the pop path appends integer codes, not concatenated strings.
+        self._seg_req = segment_code("req.queue." + name)
+        self._seg_resp = segment_code("resp.queue." + name)
         self._items: Deque[Packet] = deque()
         self._entry_times: Deque[Optional[int]] = deque()
+        # Cached output key (-1 = local, else next node id) of the head
+        # packet, None when empty.  The router's arbitration scan reads
+        # this instead of re-deriving route[hop] per queue per round; it
+        # is maintained at every head transition (push-to-empty, pop,
+        # remove) and refreshed by the RAS quiesce after it rewrites
+        # queued routes in place.
+        self.head_key: Optional[int] = None
         self.upstream_link = None
         self.on_drain = None
         self.peak_occupancy = 0
@@ -71,35 +86,63 @@ class InputQueue:
         return self._items[0]
 
     def push(self, packet: Packet, now_ps: Optional[int] = None) -> None:
-        if not self.has_space():
+        items = self._items
+        if self.capacity is not None and len(items) >= self.capacity:
             raise SimulationError(
                 f"queue {self.name} overflow (capacity {self.capacity}); "
                 "credit accounting is broken"
             )
-        self._items.append(packet)
+        items.append(packet)
         self._entry_times.append(now_ps)
         self.pushed += 1
-        if len(self._items) > self.peak_occupancy:
-            self.peak_occupancy = len(self._items)
+        depth = len(items)
+        if depth == 1:
+            route = packet.route
+            hop = packet.hop_index + 1
+            self.head_key = route[hop] if hop < len(route) else -1
+        if depth > self.peak_occupancy:
+            self.peak_occupancy = depth
         if self.tracer is not None:
-            self.tracer.queue_depth(self.name, now_ps, len(self._items))
+            self.tracer.queue_depth(self.name, now_ps, depth)
 
     def pop(self, now_ps: Optional[int] = None) -> Packet:
         if not self._items:
             raise SimulationError(f"pop on empty queue {self.name}")
         entered = self._entry_times.popleft()
-        packet = self._items.popleft()
+        items = self._items
+        packet = items.popleft()
+        if items:
+            head = items[0]
+            route = head.route
+            hop = head.hop_index + 1
+            self.head_key = route[hop] if hop < len(route) else -1
+        else:
+            self.head_key = None
         self.pops += 1
         if entered is not None and now_ps is not None:
             self.total_wait_ps += now_ps - entered
             self.popped += 1
             txn = packet.transaction
             if txn is not None and txn.segments is not None and now_ps > entered:
-                prefix = "req.queue." if packet.kind.is_request else "resp.queue."
-                txn.segments.append((prefix + self.name, entered, now_ps))
+                txn.segments.append(
+                    (self._seg_req if packet.is_req else self._seg_resp,
+                     entered, now_ps)
+                )
         if self.tracer is not None:
-            self.tracer.queue_depth(self.name, now_ps, len(self._items))
+            self.tracer.queue_depth(self.name, now_ps, len(items))
         return packet
+
+    def refresh_head_key(self) -> None:
+        """Recompute :attr:`head_key` after an in-place route rewrite
+        (RAS quiesce re-paths queued packets without popping them)."""
+        items = self._items
+        if items:
+            head = items[0]
+            route = head.route
+            hop = head.hop_index + 1
+            self.head_key = route[hop] if hop < len(route) else -1
+        else:
+            self.head_key = None
 
     def packets(self) -> "tuple":
         """Snapshot of queued packets, head first (RAS quiesce walk)."""
@@ -128,6 +171,7 @@ class InputQueue:
         self._items = kept
         self._entry_times = kept_times
         self.removed_count += removed
+        self.refresh_head_key()
         return removed
 
     @property

@@ -30,6 +30,7 @@ from repro.config import LinkConfig
 from repro.errors import SimulationError
 from repro.net.buffers import InputQueue
 from repro.net.packet import Packet
+from repro.obs.attribution import segment_code
 from repro.sim.engine import Engine
 from repro.units import serialization_ps
 
@@ -127,6 +128,10 @@ class Link:
         "_waiting",
         "_ser_cache",
         "_arrival_extra_ps",
+        "_seg_wire_req",
+        "_seg_wire_resp",
+        "_seg_retry_req",
+        "_seg_retry_resp",
         "on_idle",
         "on_delivery",
         "sender_has_response_head",
@@ -160,6 +165,12 @@ class Link:
         self._ser_cache: dict = {}  # size_bits -> serialization ps
         # fixed post-serialization latency, hoisted out of send()
         self._arrival_extra_ps = config.serdes_latency_ps + config.propagation_ps
+        # Interned attribution labels (repro.obs): send() appends
+        # integer codes instead of concatenating strings per packet.
+        self._seg_wire_req = segment_code("req.wire." + name)
+        self._seg_wire_resp = segment_code("resp.wire." + name)
+        self._seg_retry_req = segment_code("req.retry." + name)
+        self._seg_retry_resp = segment_code("resp.retry." + name)
         # Callbacks wired by the owning routers:
         # ``on_idle(engine)``     -> upstream router retries this output.
         # ``on_delivery(engine, queue)`` -> downstream router reacts to
@@ -234,43 +245,56 @@ class Link:
         """
         if self.dead:
             raise SimulationError(f"link {self.name} is dead")
-        if not self.has_credit():
+        if self._credits is not None and self._credits <= 0:
             raise SimulationError(f"link {self.name} has no credit")
         # Only a handful of packet sizes ever cross one link; memoize
         # the serialization time per link (dict hit on an int key).
-        ser = self._ser_cache.get(packet.size_bits)
+        size_bits = packet.size_bits
+        ser = self._ser_cache.get(size_bits)
         if ser is None:
             ser = self.serialization_delay_ps(packet)
         occupy_ps = ser
         retry_ps = 0
         faults = self.faults
         if faults is not None:
-            replays = faults.draw_replays(packet.size_bits)
+            replays = faults.draw_replays(size_bits)
             if replays:
                 self.replays += replays
                 retry_ps = replays * (ser + faults.retry_penalty_ps)
                 occupy_ps += retry_ps
-        self.channel.occupy(engine, occupy_ps)  # raises if busy
+        # Channel occupy, inlined (the busy guard must stay: send() is
+        # only reachable after can_send, but RAS quiesce re-kicks can
+        # race a same-instant re-occupation).
+        now = engine.now
+        channel = self.channel
+        if now < channel._busy_until:
+            raise SimulationError(f"channel {channel.name} busy")
+        channel._busy_until = now + occupy_ps
+        if channel._waiting and not channel._idle_armed:
+            channel._idle_armed = True
+            engine.schedule_bound(occupy_ps, channel._became_idle)
         if self._credits is not None:
             self._credits -= 1
         self.packets_carried += 1
-        self.bits_carried += packet.size_bits
+        self.bits_carried += size_bits
         self.busy_ps += occupy_ps
         arrival_delay = occupy_ps + self._arrival_extra_ps
         txn = packet.transaction
         if txn is not None and txn.segments is not None:
-            now = engine.now
-            prefix = "req." if packet.kind.is_request else "resp."
             if retry_ps:
                 # failed attempts first, then the good serialization
-                txn.segments.append((prefix + "retry." + self.name, now, now + retry_ps))
+                txn.segments.append(
+                    (self._seg_retry_req if packet.is_req else self._seg_retry_resp,
+                     now, now + retry_ps)
+                )
             txn.segments.append(
-                (prefix + "wire." + self.name, now + retry_ps, now + arrival_delay)
+                (self._seg_wire_req if packet.is_req else self._seg_wire_resp,
+                 now + retry_ps, now + arrival_delay)
             )
         if self.tracer is not None:
-            self.tracer.link_send(self.name, engine.now, ser, arrival_delay, packet)
+            self.tracer.link_send(self.name, now, ser, arrival_delay, packet)
             if retry_ps:
-                self.tracer.link_retry(self.name, engine.now, replays, retry_ps)
+                self.tracer.link_retry(self.name, now, replays, retry_ps)
         engine.schedule_bound(arrival_delay, self._deliver, (packet,))
 
     def _deliver(self, engine: Engine, packet: Packet) -> None:

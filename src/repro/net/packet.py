@@ -60,6 +60,8 @@ class Packet:
     __slots__ = (
         "pid",
         "kind",
+        "is_req",
+        "is_resp",
         "address",
         "src",
         "dest",
@@ -75,6 +77,7 @@ class Packet:
         "transaction",
         "source_tech",
         "obs_mark",
+        "freed",
     )
 
     def __init__(
@@ -89,6 +92,11 @@ class Packet:
     ) -> None:
         self.pid = next(_packet_ids)
         self.kind = kind
+        # The request/response class is consulted on every arbitration
+        # and every segment append; precomputed plain bools keep the
+        # enum-property lookups off the hot path.
+        self.is_req = kind <= PacketKind.WRITE_REQ
+        self.is_resp = not self.is_req
         self.address = address
         self.src = src
         self.dest = dest
@@ -106,6 +114,9 @@ class Packet:
         # Scratch timestamp for observability: marks when the packet
         # entered its current waiting stage (set only with attribution on).
         self.obs_mark: Optional[int] = None
+        # Set by PacketPool.release; guards against double frees and
+        # lets the auditor spot a freed packet still resident somewhere.
+        self.freed = False
 
     # ------------------------------------------------------------------
     @property

@@ -9,7 +9,7 @@ deadlock-avoidance rule whose queuing side-effects Section 3.2 analyses.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arbitration.base import OutputArbiter
 from repro.errors import SimulationError
@@ -114,6 +114,7 @@ class Router:
         "inputs",
         "outputs",
         "_arbiters",
+        "_ports",
         "_arbiter_factory",
         "response_priority",
         "grants",
@@ -132,6 +133,9 @@ class Router:
         self.inputs: List[InputQueue] = []
         self.outputs: Dict[int, OutputPort] = {}
         self._arbiters: Dict[int, OutputArbiter] = {}
+        # hot-path view: key -> (port, arbiter, link-or-None), one dict
+        # hit instead of two lookups plus a type test per arbitration
+        self._ports: Dict[int, tuple] = {}
         self._arbiter_factory = arbiter_factory
         self.response_priority = response_priority
         self.grants: Dict[int, int] = {}
@@ -148,7 +152,12 @@ class Router:
         if key in self.outputs:
             raise SimulationError(f"router {self.name}: duplicate output {key}")
         self.outputs[key] = port
-        self._arbiters[key] = self._arbiter_factory()
+        arbiter = self._arbiter_factory()
+        self._arbiters[key] = arbiter
+        self._ports[key] = (
+            port, arbiter, port.link if type(port) is LinkOutput else None
+        )
+        self.grants.setdefault(key, 0)
 
     def arbiter_for(self, key: int) -> OutputArbiter:
         return self._arbiters[key]
@@ -169,13 +178,11 @@ class Router:
         head's output either dispatched it when it became head or holds
         a wake-up registration from when it blocked.
         """
-        items = queue._items
-        if len(items) != 1:
+        if len(queue._items) != 1:
             # empty: the RAS route guard swallowed the packet;
             # deeper: the pushed packet is parked behind the head
             return
-        head = items[0]
-        self._try_output(engine, LOCAL if head.at_destination else head.next_node)
+        self._try_output(engine, queue.head_key)
 
     def output_ready(self, engine: Engine, key: int) -> None:
         """An output link went idle, got a credit back, or the local
@@ -189,13 +196,7 @@ class Router:
         (the paper's deadlock-avoidance priority, Section 3.2).
         """
         for queue in self.inputs:
-            items = queue._items
-            if not items:
-                continue
-            head = items[0]
-            if head.kind.is_response and (
-                LOCAL if head.at_destination else head.next_node
-            ) == key:
+            if queue.head_key == key and queue._items[0].is_resp:
                 return True
         return False
 
@@ -207,52 +208,76 @@ class Router:
         """
         needed = set()
         for queue in self.inputs:
-            items = queue._items
-            if items:
-                head = items[0]
-                needed.add(LOCAL if head.at_destination else head.next_node)
+            # Resynchronize the cached head keys too: the RAS quiesce
+            # rewrites queued routes in place before kicking us.
+            queue.refresh_head_key()
+            if queue.head_key is not None:
+                needed.add(queue.head_key)
         for key in needed:
             self._try_output(engine, key)
 
     # -- core arbitration loop ---------------------------------------------
     def _try_output(self, engine: Engine, key: int) -> None:
-        port = self.outputs.get(key)
-        if port is None:
+        entry = self._ports.get(key)
+        if entry is None:
             raise SimulationError(
                 f"router {self.name}: head packet needs unknown output {key}"
             )
-        arbiter = self._arbiters[key]
+        # The dominant port type is a link; its per-candidate accept
+        # chain (port.can_accept -> link.can_send -> channel.is_free ->
+        # credit check) is loop-invariant across one arbitration round,
+        # so it flattens to three attribute tests done once per round.
+        port, arbiter, link = entry
         inputs = self.inputs
-        retry: List[int] = []
+        grants = self.grants
+        retry: Optional[List[int]] = None
         while True:
             now = engine.now
+            if link is not None:
+                if (
+                    link.dead
+                    or now < link.channel._busy_until
+                    or (link._credits is not None and link._credits <= 0)
+                ):
+                    # Blocked: if any head wants this output, sleep
+                    # until the one transition that can unblock it
+                    # (channel idle / credit return) instead of polling.
+                    for queue in inputs:
+                        if queue.head_key == key:
+                            port.request_wakeup(engine)
+                            break
+                    break
             candidates: List[Tuple[int, Packet]] = []
-            responses: List[Tuple[int, Packet]] = []
+            resp_count = 0
             demand = False
             for index, queue in enumerate(inputs):
+                if queue.head_key != key:
+                    continue
                 items = queue._items
                 if not items:
+                    # Stale cache: only reachable when something mutated
+                    # the deque behind pop()'s back — keep arbitration
+                    # alive so the auditor can report it (queue.head_key
+                    # / queue.accounting) instead of crashing here.
                     continue
                 head = items[0]
-                # inline head output key (at_destination / next_node)
-                route = head.route
-                hop = head.hop_index + 1
-                if (route[hop] if hop < len(route) else LOCAL) != key:
-                    continue
-                demand = True
-                if port.can_accept(now, head):
-                    candidates.append((index, head))
-                    if head.kind.is_response:
-                        responses.append((index, head))
+                if link is None:
+                    demand = True
+                    if not port.can_accept(now, head):
+                        continue
+                candidates.append((index, head))
+                if head.is_resp:
+                    resp_count += 1
             if not candidates:
                 if demand:
-                    # Blocked: sleep until the one transition that can
-                    # unblock this output (channel idle / credit return
-                    # / controller slot free) instead of being polled.
+                    # Blocked local output (controller slot full): the
+                    # owner re-kicks when a slot frees; registering is
+                    # a no-op but kept for port-type symmetry.
                     port.request_wakeup(engine)
                 break
-            if responses and self.response_priority:
-                candidates = responses
+            n_cand = len(candidates)
+            if resp_count and resp_count != n_cand and self.response_priority:
+                candidates = [c for c in candidates if c[1].is_resp]
             pos = arbiter.pick(now, candidates)
             if not 0 <= pos < len(candidates):
                 raise SimulationError(
@@ -263,26 +288,47 @@ class Router:
             popped = queue.pop(now)
             if popped is not packet:
                 raise SimulationError("arbiter must select queue heads")
-            arbiter.record_grant()
-            self.grants[key] = self.grants.get(key, 0) + 1
+            arbiter.grants += 1
+            grants[key] += 1
             if self.tracer is not None:
                 self.tracer.router_grant(self.name, now, key, packet, len(candidates))
-            port.dispatch(engine, packet, index)
-            if queue.upstream_link is not None:
-                queue.upstream_link.return_credit(engine)
+            if link is not None:
+                link.send(engine, packet)
+            else:
+                port.dispatch(engine, packet, index)
+            upstream = queue.upstream_link
+            if upstream is not None:
+                upstream.return_credit(engine)
             elif queue.on_drain is not None:
                 queue.on_drain(engine)
             # The pop exposed a new head; if it needs a different
             # output, no future event will try that output for it —
             # queue it for arbitration once this one settles.
-            items = queue._items
-            if items:
-                head = items[0]
-                new_key = LOCAL if head.at_destination else head.next_node
-                if new_key != key and new_key not in retry:
+            new_key = queue.head_key
+            head_same = new_key == key
+            if not head_same and new_key is not None:
+                if retry is None:
+                    retry = [new_key]
+                elif new_key not in retry:
                     retry.append(new_key)
-            # Exclusive ports (links) are now busy serializing: the next
-            # loop iteration finds can_accept False and registers the
-            # remaining demand, if any, on the channel's waiting set.
-        for other in retry:
-            self._try_output(engine, other)
+            if link is not None and (
+                now < link.channel._busy_until
+                or (link._credits is not None and link._credits <= 0)
+                or link.dead
+            ):
+                # The send serialized the channel (and may have spent
+                # the last credit): this round is over.  Remaining
+                # demand for this output is exactly the unpicked
+                # candidates plus the popped queue's new head — no
+                # rescan needed to rediscover it.  Re-entrant pushes
+                # from return_credit/on_drain register their own
+                # wake-ups via packet_arrived.
+                if n_cand > 1 or head_same:
+                    if not link.dead:
+                        link.channel.wake_when_idle(engine, link)
+                break
+            # Local ports (and the zero-occupancy link edge) loop:
+            # dispatch may have changed admission state, so rescan.
+        if retry is not None:
+            for other in retry:
+                self._try_output(engine, other)

@@ -2,7 +2,12 @@
 
 With ``config.obs.attribution`` on, every transaction carries a list of
 ``(label, start_ps, end_ps)`` segments appended by the components it
-visits.  Labels follow a ``<phase>.<stage>[.<where>]`` taxonomy:
+visits.  Hot-path components intern their labels once at construction
+(:func:`segment_code`) and append integer codes instead of strings —
+per-event string concatenation was the bulk of attribution's overhead —
+and the codes are decoded back to the string taxonomy when a completed
+transaction is folded into the collector (:func:`sum_by_label` accepts
+either form).  Labels follow a ``<phase>.<stage>[.<where>]`` taxonomy:
 
 ============================  =============================================
 label                         meaning
@@ -65,14 +70,54 @@ def make_segment_histogram() -> Histogram:
     return Histogram(SEGMENT_BUCKET_PS, SEGMENT_NUM_BUCKETS)
 
 
+# ---------------------------------------------------------------------------
+# Segment codebook: process-global interning of labels to small ints.
+#
+# A component that appends segments on the hot path computes its codes
+# once (at construction) and appends ``(code, start_ps, end_ps)``;
+# everything downstream of the collector keeps seeing string labels.
+# Codes are assigned in first-intern order and are process-local — they
+# never cross a process boundary or enter a digest, only labels do.
+# ---------------------------------------------------------------------------
+_SEGMENT_LABELS: List[str] = []
+_SEGMENT_CODES: Dict[str, int] = {}
+
+
+def segment_code(label: str) -> int:
+    """Intern ``label`` and return its stable integer code."""
+    code = _SEGMENT_CODES.get(label)
+    if code is None:
+        code = len(_SEGMENT_LABELS)
+        _SEGMENT_LABELS.append(label)
+        _SEGMENT_CODES[label] = code
+    return code
+
+
+def segment_label(code: int) -> str:
+    """The label string for an interned code (export-time decode)."""
+    return _SEGMENT_LABELS[code]
+
+
 def sum_by_label(
-    segments: Iterable[Tuple[str, int, int]]
+    segments: Iterable[Tuple[object, int, int]]
 ) -> Dict[str, int]:
-    """Per-label duration sums for one transaction's segment list."""
-    sums: Dict[str, int] = {}
+    """Per-label duration sums for one transaction's segment list.
+
+    Accepts integer-coded labels (hot-path appenders) and plain strings
+    (cold paths, tests) interchangeably; the result is always keyed by
+    label string.  Accumulation happens on the raw keys — int hashing
+    is cheaper — and decoding happens once per distinct label.
+    """
+    sums: Dict[object, int] = {}
     for label, start_ps, end_ps in segments:
         sums[label] = sums.get(label, 0) + (end_ps - start_ps)
-    return sums
+    labels = _SEGMENT_LABELS
+    out: Dict[str, int] = {}
+    for key, total in sums.items():
+        if type(key) is int:
+            key = labels[key]
+        out[key] = out.get(key, 0) + total
+    return out
 
 
 def phase_of(label: str) -> Optional[str]:

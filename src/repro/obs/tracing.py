@@ -8,6 +8,15 @@ per-link busy time and bits, per-queue peak depth — are accumulated
 outside the ring so the dump's utilization summary covers the entire
 run even when the ring wrapped.
 
+The ring is a preallocated slot array, and the tuples filed into it are
+integer-coded: event kinds are small ints (:data:`LINK` …) and packet
+kinds are stored as the raw :class:`~repro.net.packet.PacketKind`
+member, never as strings.  The emission hot path therefore does no
+string formatting or enum ``.name`` lookups; :meth:`TraceRecorder.
+events` and the dump writers decode codes back to the public string
+taxonomy (``"link"``, ``"queue"``, …) at export time, so external
+consumers see the same records as before.
+
 Two dump formats:
 
 * :meth:`TraceRecorder.write_jsonl` — one JSON object per line, ordered
@@ -25,18 +34,37 @@ the exporter divides by 1e6.
 from __future__ import annotations
 
 import json
-from collections import deque
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-# Event kinds (index 1 of every ring tuple).
-LINK = "link"
-QUEUE = "queue"
-GRANT = "grant"
-MEM = "mem"
-ENGINE = "engine"
-RETRY = "retry"
-FAULT = "fault"
+# Event-kind codes (index 1 of every ring tuple) and their public
+# string taxonomy, decoded only at export.
+LINK = 0
+QUEUE = 1
+GRANT = 2
+MEM = 3
+ENGINE = 4
+RETRY = 5
+FAULT = 6
+KIND_LABELS = ("link", "queue", "grant", "mem", "engine", "retry", "fault")
+
+
+def _decode(event: tuple) -> tuple:
+    """Ring tuple -> the public string-taxonomy tuple."""
+    code = event[1]
+    if code == LINK:
+        # stored: (ts, LINK, name, ser, arrival, pid, kind, bits)
+        return (
+            event[0], "link", event[2], event[3], event[4], event[5],
+            event[6].name, event[7],
+        )
+    if code == GRANT:
+        # stored: (ts, GRANT, name, output_key, pid, kind, contenders)
+        return (
+            event[0], "grant", event[2], event[3], event[4],
+            event[5].name, event[6],
+        )
+    return (event[0], KIND_LABELS[code]) + event[2:]
 
 
 class TraceRecorder:
@@ -46,7 +74,10 @@ class TraceRecorder:
         if capacity < 1:
             raise ValueError("trace ring capacity must be at least 1")
         self.capacity = capacity
-        self._ring: deque = deque(maxlen=capacity)
+        # Preallocated ring: a fixed slot array plus a write cursor.
+        # Emission is one store + cursor bump, no allocator churn.
+        self._ring: List[Optional[tuple]] = [None] * capacity
+        self._pos = 0
         self.emitted = 0  # total events seen; emitted - len(ring) = evicted
         # Whole-run aggregates (never evicted).
         self.link_busy_ps: Dict[str, int] = {}
@@ -61,7 +92,10 @@ class TraceRecorder:
 
     # -- emission hooks (called from component hot paths when tracing) ----
     def _emit(self, event: tuple) -> None:
-        self._ring.append(event)
+        pos = self._pos
+        self._ring[pos] = event
+        pos += 1
+        self._pos = 0 if pos == self.capacity else pos
         self.emitted += 1
         ts = event[0]
         if ts > self.last_ts:
@@ -79,7 +113,7 @@ class TraceRecorder:
         pkts[name] = pkts.get(name, 0) + 1
         self._emit(
             (now_ps, LINK, name, ser_ps, arrival_ps, packet.pid,
-             packet.kind.name, packet.size_bits)
+             packet.kind, packet.size_bits)
         )
 
     def queue_depth(self, name: str, now_ps: Optional[int], depth: int) -> None:
@@ -94,7 +128,7 @@ class TraceRecorder:
     ) -> None:
         """A router arbiter granted an output to an input head."""
         self._emit(
-            (now_ps, GRANT, name, output_key, packet.pid, packet.kind.name,
+            (now_ps, GRANT, name, output_key, packet.pid, packet.kind,
              contenders)
         )
 
@@ -124,11 +158,23 @@ class TraceRecorder:
 
     # -- views ------------------------------------------------------------
     @property
+    def retained(self) -> int:
+        return min(self.emitted, self.capacity)
+
+    @property
     def dropped(self) -> int:
-        return self.emitted - len(self._ring)
+        return self.emitted - self.retained
+
+    def _raw_events(self) -> List[tuple]:
+        """Retained ring tuples, oldest first, still integer-coded."""
+        if self.emitted <= self.capacity:
+            return self._ring[: self.emitted]
+        pos = self._pos
+        return self._ring[pos:] + self._ring[:pos]
 
     def events(self) -> List[tuple]:
-        return list(self._ring)
+        """Retained events decoded to the public string taxonomy."""
+        return [_decode(event) for event in self._raw_events()]
 
     def link_utilization(self, runtime_ps: Optional[int] = None) -> Dict[str, float]:
         """Fraction of the run each link spent serializing packets."""
@@ -142,7 +188,7 @@ class TraceRecorder:
     def queue_depth_series(self) -> Dict[str, List[Tuple[int, int]]]:
         """Per-queue (timestamp, depth) samples still present in the ring."""
         series: Dict[str, List[Tuple[int, int]]] = {}
-        for event in self._ring:
+        for event in self._raw_events():
             if event[1] == QUEUE:
                 series.setdefault(event[2], []).append((event[0], event[3]))
         return series
@@ -150,7 +196,7 @@ class TraceRecorder:
     def summary(self, runtime_ps: Optional[int] = None) -> Dict[str, object]:
         return {
             "events_emitted": self.emitted,
-            "events_retained": len(self._ring),
+            "events_retained": self.retained,
             "events_dropped": self.dropped,
             "ring_capacity": self.capacity,
             "link_utilization": self.link_utilization(runtime_ps),
@@ -164,18 +210,18 @@ class TraceRecorder:
     # -- dumps -------------------------------------------------------------
     def _event_to_record(self, event: tuple) -> Dict[str, object]:
         ts, kind = event[0], event[1]
-        record: Dict[str, object] = {"ts": ts, "kind": kind}
+        record: Dict[str, object] = {"ts": ts, "kind": KIND_LABELS[kind]}
         if kind == LINK:
             record.update(
                 link=event[2], ser_ps=event[3], arrival_ps=event[4],
-                pid=event[5], packet=event[6], bits=event[7],
+                pid=event[5], packet=event[6].name, bits=event[7],
             )
         elif kind == QUEUE:
             record.update(queue=event[2], depth=event[3])
         elif kind == GRANT:
             record.update(
                 router=event[2], output=event[3], pid=event[4],
-                packet=event[5], contenders=event[6],
+                packet=event[5].name, contenders=event[6],
             )
         elif kind == MEM:
             record.update(
@@ -196,7 +242,7 @@ class TraceRecorder:
         """One JSON object per event, plus a trailing summary record."""
         lines = [
             json.dumps(self._event_to_record(event), separators=(",", ":"))
-            for event in self._ring
+            for event in self._raw_events()
         ]
         summary = {"kind": "summary"}
         summary.update(self.summary(runtime_ps))
@@ -226,14 +272,14 @@ class TraceRecorder:
                 )
             return number
 
-        for event in self._ring:
+        for event in self._raw_events():
             ts_us = event[0] / 1e6
             kind = event[1]
             if kind == LINK:
                 events.append(
                     {
                         "ph": "X", "cat": "link",
-                        "name": f"{event[6]} #{event[5]}",
+                        "name": f"{event[6].name} #{event[5]}",
                         "pid": 0, "tid": tid(f"link {event[2]}"),
                         "ts": ts_us, "dur": event[3] / 1e6,
                         "args": {"bits": event[7], "arrival_ps": event[4]},
@@ -250,7 +296,7 @@ class TraceRecorder:
                 events.append(
                     {
                         "ph": "i", "s": "t", "cat": "grant",
-                        "name": f"grant {event[5]} #{event[4]} -> {event[3]}",
+                        "name": f"grant {event[5].name} #{event[4]} -> {event[3]}",
                         "pid": 0, "tid": tid(f"router {event[2]}"),
                         "ts": ts_us,
                         "args": {"contenders": event[6]},

@@ -1,0 +1,434 @@
+"""Cohort-execution engine: ``Engine("batch")``.
+
+The batch engine keeps the wheel's O(1) far-tier filing but replaces
+the near tier's binary heap with a *sorted window* consumed by a
+cursor.  A refill promotes one or more consecutive far buckets, sorts
+them once with timsort, and then dispatch is a plain index walk —
+same-timestamp cohorts are drained back-to-back with no per-event heap
+maintenance.  Events that callbacks schedule *into* the current window
+(re-entrant wake-ups, zero-delay retries) land in a small *spill* heap
+that is merged at the head by a single tuple comparison; in the common
+case the spill is empty and dispatch is ``window[cursor]``.
+
+Why cohorts are drained in ``(time, seq)`` order rather than reordered
+into per-kind phases: two same-timestamp deliveries into one router are
+*not* commutative — the round-robin arbiter pointer advances on every
+grant, so swapping them changes every later arbitration decision.  The
+determinism contract (heap == wheel == batch, bit-identical digests
+against the golden corpus) therefore pins the intra-cohort order; the
+batching win comes from amortizing scheduler work across the cohort
+(one sort per window, cursor dispatch, vectorized cohort accounting),
+not from reordering it.
+
+Cohort-size statistics are accumulated into a preallocated numpy
+histogram with vectorized ``bincount`` updates at refill time — zero
+work in the dispatch loop itself.  ``benchmarks/bench_engine.py``
+reports the distribution so batching wins stay explainable.
+
+numpy is an optional dependency (the ``batch`` extra in
+``pyproject.toml``); constructing a :class:`BatchEngine` without it
+raises a :class:`~repro.errors.SimulationError` that says how to get
+it, and the pure-Python ``wheel``/``heap`` paths never import numpy.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import NEAR_TARGET, WHEEL_SHIFT, Engine
+
+try:  # pragma: no cover - exercised via the import-error unit test
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Cohort sizes at or above this land in the histogram's overflow bin.
+COHORT_HIST_MAX = 64
+
+
+class BatchEngine(Engine):
+    """Sorted-window cohort scheduler behind the :class:`Engine` API.
+
+    Construct via ``Engine("batch")`` (or ``REPRO_ENGINE=batch``); the
+    base class dispatches here so callers never import this module —
+    and never pay the numpy import — unless they ask for it.
+    """
+
+    __slots__ = ("_window", "_cursor", "_spill", "_spilled", "_windows",
+                 "_cohort_counts", "_cohort_hist")
+
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        if scheduler is None:
+            scheduler = "batch"
+        if scheduler != "batch":
+            raise ValueError(f"BatchEngine only supports 'batch', got {scheduler!r}")
+        if _np is None:
+            raise SimulationError(
+                "Engine('batch') requires numpy, which is not installed. "
+                "Install the optional extra (pip install 'repro[batch]') "
+                "or pick the pure-Python Engine('wheel') / Engine('heap')."
+            )
+        self.scheduler = "batch"
+        self._near = []  # unused; kept so base-class introspection is safe
+        self._near_bound = 0
+        self._far = {}
+        self._bucket_heap = []
+        self.now = 0
+        self._seq = 0
+        self._pending = 0
+        self._events_processed = 0
+        self._running = False
+        self._tracer = None
+        self._refills = 0
+        self._promoted = 0
+        self._collapsed = True  # the wheel's collapse heuristic never applies
+        self._window: list = []
+        self._cursor: int = 0
+        self._spill: list = []
+        self._spilled: int = 0
+        self._windows: int = 0
+        # Cohort accounting: refills accumulate run lengths into the
+        # preallocated staging counters; they are folded into the numpy
+        # histogram in bulk (one vectorized add per fold, see
+        # _fold_cohorts) so small windows never pay per-window numpy
+        # call overhead.
+        self._cohort_counts = [0] * (COHORT_HIST_MAX + 1)
+        self._cohort_hist = _np.zeros(COHORT_HIST_MAX + 1, dtype=_np.int64)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _push(self, time: int, callback: Callable, args: tuple) -> None:
+        if time < self._near_bound:
+            # Into the live window's time range: the window list is
+            # sorted and mid-consumption, so late arrivals go to the
+            # spill heap and are merged at the head during dispatch.
+            heappush(self._spill, (time, self._seq, callback, args))
+            self._spilled += 1
+        else:
+            index = time >> WHEEL_SHIFT
+            bucket = self._far.get(index)
+            if bucket is None:
+                self._far[index] = [(time, self._seq, callback, args)]
+                heappush(self._bucket_heap, index)
+            else:
+                bucket.append((time, self._seq, callback, args))
+        self._seq += 1
+        self._pending += 1
+
+    def _refill(self) -> bool:
+        """Promote far buckets into a fresh sorted window.
+
+        Auto-sized exactly like the wheel (consecutive buckets until
+        :data:`~repro.sim.engine.NEAR_TARGET` events), but the window
+        is sorted once instead of heapified: dispatch then walks it by
+        index, and same-timestamp cohorts sit adjacent — their size
+        distribution is folded into the numpy histogram right here,
+        with zero accounting left in the dispatch loop.
+        """
+        bucket_heap = self._bucket_heap
+        if not bucket_heap:
+            self._window = []
+            self._cursor = 0
+            return False
+        index = heappop(bucket_heap)
+        events = self._far.pop(index)
+        while len(events) < NEAR_TARGET and bucket_heap:
+            if bucket_heap[0] != index + 1:
+                break
+            index = heappop(bucket_heap)
+            events.extend(self._far.pop(index))
+        self._near_bound = (index + 1) << WHEEL_SHIFT
+        # (time, seq) pairs are unique, so tuple comparison never falls
+        # through to the (unorderable) callback in position 2.
+        events.sort()
+        self._window = events
+        self._cursor = 0
+        self._windows += 1
+        # Same-timestamp cohorts sit adjacent after the sort; count the
+        # run lengths into the staging counters.
+        counts = self._cohort_counts
+        run_time = events[0][0]
+        run = 0
+        for event in events:
+            time = event[0]
+            if time == run_time:
+                run += 1
+            else:
+                counts[run if run < COHORT_HIST_MAX else COHORT_HIST_MAX] += 1
+                run_time = time
+                run = 1
+        counts[run if run < COHORT_HIST_MAX else COHORT_HIST_MAX] += 1
+        return True
+
+    def _fold_cohorts(self) -> "_np.ndarray":
+        """Fold staged cohort counters into the numpy histogram."""
+        counts = self._cohort_counts
+        if any(counts):
+            self._cohort_hist += _np.asarray(counts, dtype=_np.int64)
+            self._cohort_counts = [0] * (COHORT_HIST_MAX + 1)
+        return self._cohort_hist
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """See :meth:`Engine.run`; identical dispatch order, by design."""
+        if self._tracer is not None:
+            return self._run_traced(until, max_events, stop_when)
+        if until is not None or max_events is not None or stop_when is not None:
+            return self._run_bounded(until, max_events, stop_when)
+        processed = 0
+        pop = heappop
+        self._running = True
+        try:
+            # The spill list object is stable (heappush mutates in
+            # place); the window object is swapped only by _refill,
+            # which runs between inner loops.
+            spill = self._spill
+            while True:
+                window = self._window
+                wlen = len(window)
+                cursor = self._cursor
+                while True:
+                    if spill:
+                        if cursor < wlen and window[cursor] < spill[0]:
+                            event = window[cursor]
+                            cursor += 1
+                        else:
+                            event = pop(spill)
+                    elif cursor < wlen:
+                        event = window[cursor]
+                        cursor += 1
+                    else:
+                        break
+                    # Commit the cursor before dispatching: callbacks
+                    # may audit the engine (RAS quiesce does), and the
+                    # consumed window prefix must already look consumed.
+                    self._cursor = cursor
+                    self.now = event[0]
+                    event[2](self, *event[3])
+                    processed += 1
+                if not self._refill():
+                    return processed
+        finally:
+            self._pending -= processed
+            self._events_processed += processed
+            self._running = False
+
+    def _run_bounded(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> int:
+        processed = 0
+        pop = heappop
+        bounded = until is not None
+        limited = max_events is not None
+        self._running = True
+        try:
+            spill = self._spill
+            while True:
+                window = self._window
+                wlen = len(window)
+                cursor = self._cursor
+                while True:
+                    from_window = True
+                    if spill:
+                        if cursor < wlen and window[cursor] < spill[0]:
+                            event = window[cursor]
+                        else:
+                            event = spill[0]
+                            from_window = False
+                    elif cursor < wlen:
+                        event = window[cursor]
+                    else:
+                        break
+                    if bounded and event[0] > until:
+                        self.now = until
+                        return processed
+                    if from_window:
+                        cursor += 1
+                        # Committed pre-dispatch: callbacks may audit.
+                        self._cursor = cursor
+                    else:
+                        pop(spill)
+                    self.now = event[0]
+                    event[2](self, *event[3])
+                    processed += 1
+                    if limited and processed >= max_events:
+                        self._pending -= processed
+                        self._events_processed += processed
+                        processed = 0  # flushed; no double-count in finally
+                        raise SimulationError(
+                            f"event limit {max_events} exceeded at "
+                            f"t={self.now}; likely livelock"
+                        )
+                    if stop_when is not None and stop_when():
+                        return processed
+                if not self._refill():
+                    if bounded and until > self.now:
+                        self.now = until
+                    return processed
+        finally:
+            self._pending -= processed
+            self._events_processed += processed
+            self._running = False
+
+    def _run_traced(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> int:
+        tracer = self._tracer
+        processed = 0
+        bounded = until is not None
+        limited = max_events is not None
+        self._running = True
+        try:
+            while True:
+                head_time = self._peek_time()
+                if head_time is None:
+                    if bounded and until > self.now:
+                        self.now = until
+                    return processed
+                if bounded and head_time > until:
+                    self.now = until
+                    return processed
+                time, _seq, callback, args = self._pop_event()
+                self.now = time
+                tracer.engine_event(
+                    time, getattr(callback, "__qualname__", repr(callback))
+                )
+                callback(self, *args)
+                processed += 1
+                if limited and processed >= max_events:
+                    self._pending -= processed
+                    self._events_processed += processed
+                    processed = 0  # flushed; no double-count in finally
+                    raise SimulationError(
+                        f"event limit {max_events} exceeded at t={self.now}; "
+                        "likely livelock"
+                    )
+                if stop_when is not None and stop_when():
+                    return processed
+        finally:
+            self._pending -= processed
+            self._events_processed += processed
+            self._running = False
+
+    def _peek_time(self) -> Optional[int]:
+        while True:
+            window, cursor, spill = self._window, self._cursor, self._spill
+            if cursor < len(window):
+                head = window[cursor][0]
+                if spill and spill[0][0] < head:
+                    return spill[0][0]
+                return head
+            if spill:
+                return spill[0][0]
+            if not self._refill():
+                return None
+
+    def _pop_event(self) -> tuple:
+        """Remove and return the earliest event; callers peeked first."""
+        window, cursor, spill = self._window, self._cursor, self._spill
+        if cursor < len(window):
+            if spill and spill[0] < window[cursor]:
+                return heappop(spill)
+            self._cursor = cursor + 1
+            return window[cursor]
+        return heappop(spill)
+
+    # ------------------------------------------------------------------
+    # cohort observability
+    # ------------------------------------------------------------------
+    def cohort_stats(self) -> dict:
+        """Cohort-size distribution and window/spill counters.
+
+        ``histogram`` maps cohort size (number of same-timestamp events
+        adjacent in a sorted window; sizes >= :data:`COHORT_HIST_MAX`
+        are folded into the last bin) to occurrence count.  Spill-heap
+        events are counted separately — they are the re-entrant
+        arrivals that could not be batched into their window.
+        """
+        cohort_hist = self._fold_cohorts()
+        hist = {
+            int(size): int(count)
+            for size, count in enumerate(cohort_hist)
+            if count
+        }
+        cohorts = int(cohort_hist.sum())
+        batched = int((cohort_hist * _np.arange(cohort_hist.size)).sum())
+        return {
+            "histogram": hist,
+            "cohorts": cohorts,
+            "windows": self._windows,
+            "batched_events": batched,
+            "spilled_events": self._spilled,
+            "mean_cohort": (batched / cohorts) if cohorts else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # integrity introspection (repro.check)
+    # ------------------------------------------------------------------
+    def integrity_errors(self) -> list:
+        """Batch-engine variant of :meth:`Engine.integrity_errors`.
+
+        Same contract; additionally checks that the live window really
+        is sorted past the cursor and that spill events fall inside the
+        window's time range (below the near boundary).
+        """
+        problems: list = []
+        live = len(self._window) - self._cursor
+        queued = live + len(self._spill) + sum(len(b) for b in self._far.values())
+        self._check_pending(problems, queued)
+        heap_indices = sorted(self._bucket_heap)
+        far_indices = sorted(self._far)
+        if heap_indices != far_indices:
+            problems.append(
+                f"bucket heap {heap_indices} disagrees with far buckets "
+                f"{far_indices} (stale or unreachable wheel entry)"
+            )
+        elif len(set(heap_indices)) != len(heap_indices):
+            problems.append(f"duplicate bucket indices in heap: {heap_indices}")
+        tail = self._window[self._cursor:]
+        for prev, event in zip(tail, tail[1:]):
+            if event[:2] < prev[:2]:
+                problems.append(
+                    f"window not sorted: t={event[0]} after t={prev[0]}"
+                )
+                break
+        for time, _seq, _cb, _args in tail:
+            if time < self.now:
+                problems.append(f"window event at t={time} is before now={self.now}")
+                break
+        for time, _seq, _cb, _args in self._spill:
+            if time < self.now:
+                problems.append(f"spill event at t={time} is before now={self.now}")
+                break
+            if time >= self._near_bound:
+                problems.append(
+                    f"spill event at t={time} belongs beyond the boundary "
+                    f"{self._near_bound}"
+                )
+                break
+        self._check_far(problems)
+        return problems
+
+    def drain(self) -> None:
+        self._window.clear()
+        self._cursor = 0
+        self._spill.clear()
+        self._far.clear()
+        self._bucket_heap.clear()
+        self._pending = 0

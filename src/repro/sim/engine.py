@@ -1,27 +1,40 @@
 """Event scheduler with an integer picosecond clock.
 
-Two schedulers live behind one API:
+Three schedulers live behind one API:
 
 * ``wheel`` (the default) — a deterministic two-tier structure.  The
   *near* tier is a binary heap covering ``[now, boundary)``; everything
   at or beyond the boundary lands in hashed timing-wheel buckets of
   ``2**WHEEL_SHIFT`` ps in O(1), with a heapq of bucket indices as the
-  far-future overflow tier.  When the near tier drains, the earliest
-  bucket is heapified wholesale and becomes the new near tier.  Most
-  events are scheduled a few nanoseconds out, so the common insert is a
-  list append instead of a per-event ``heappush`` into one big heap.
-* ``heap`` — the classic single heapq over all events, kept for
-  determinism equivalence checks and benchmarking.  It is the wheel
-  with an infinite near boundary, so both modes share every code path
-  and dispatch events in exactly the same ``(time, seq)`` order.
+  far-future overflow tier.  When the near tier drains, consecutive
+  buckets are promoted and heapified wholesale until the near tier
+  holds :data:`NEAR_TARGET` events — the near horizon auto-sizes to the
+  observed event density.  A wheel whose buckets stay sparse is pure
+  overhead, so after :data:`COLLAPSE_REFILLS` refills with mean
+  occupancy below :data:`COLLAPSE_DENSITY` events the wheel *collapses*
+  into the single-heap mode for the rest of the run (dispatch order is
+  unaffected — both structures pop in exact ``(time, seq)`` order).
+* ``heap`` — the classic single heapq over all events, kept as the
+  determinism reference.  It is the wheel with an infinite near
+  boundary, so both modes share every code path and dispatch events in
+  exactly the same ``(time, seq)`` order.
+* ``batch`` — the cohort-execution engine (:mod:`repro.sim.batch`):
+  far-tier buckets are consumed by sorting them once and walking a
+  cursor, same-timestamp event cohorts are drained together, and
+  cohort-size statistics are kept in preallocated numpy arrays.
+  Requires numpy; ``Engine("batch")`` raises a clear error without it.
 
 Events are ``(time, sequence, callback, args)`` tuples ordered by time
 and, for equal times, by scheduling order — bit-identical results
-regardless of scheduler mode.
+regardless of scheduler mode.  The scheduler choice is therefore *not*
+part of any job digest (see :mod:`repro.runner.job`); it may be picked
+ambiently via the ``REPRO_ENGINE`` environment variable, which also
+reaches runner worker processes.
 """
 
 from __future__ import annotations
 
+import os
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
@@ -33,7 +46,39 @@ from repro.errors import SimulationError
 #: boundary and take the O(1) far-tier insert.
 WHEEL_SHIFT = 12
 
+#: Refill auto-sizing: promote consecutive far buckets until the near
+#: heap holds at least this many events, so sparse schedules do not pay
+#: one refill per handful of events.
+NEAR_TARGET = 64
+
+#: After this many refills the wheel reviews its own usefulness ...
+COLLAPSE_REFILLS = 8
+#: ... and folds into a plain heap when the mean number of events
+#: promoted per refill is below this density.  A sparse wheel pays
+#: bucket bookkeeping per event and saves nothing over heappush.
+COLLAPSE_DENSITY = 24
+
+#: Valid scheduler names, in documentation order.
+SCHEDULERS = ("wheel", "heap", "batch")
+
+#: Environment variable selecting the ambient default scheduler (used
+#: when an Engine is built without an explicit choice — including the
+#: engines built inside runner worker processes).
+ENGINE_ENV = "REPRO_ENGINE"
+
 _NO_ARGS: tuple = ()
+
+
+def default_scheduler() -> str:
+    """The ambient scheduler: ``$REPRO_ENGINE``, else ``wheel``."""
+    env = os.environ.get(ENGINE_ENV)
+    if not env:
+        return "wheel"
+    if env not in SCHEDULERS:
+        raise SimulationError(
+            f"unknown {ENGINE_ENV}={env!r} (expected one of {SCHEDULERS})"
+        )
+    return env
 
 
 class Engine:
@@ -54,16 +99,34 @@ class Engine:
         "_near_bound",
         "_far",
         "_bucket_heap",
-        "_now",
+        "now",
         "_seq",
         "_pending",
         "_events_processed",
         "_running",
         "_tracer",
+        "_refills",
+        "_promoted",
+        "_collapsed",
         "scheduler",
     )
 
-    def __init__(self, scheduler: str = "wheel") -> None:
+    def __new__(cls, scheduler: Optional[str] = None):
+        # ``Engine("batch")`` transparently builds the cohort engine; the
+        # subclass carries the numpy dependency so the pure-Python
+        # install path never imports it.
+        if cls is Engine and (
+            scheduler == "batch"
+            or (scheduler is None and default_scheduler() == "batch")
+        ):
+            from repro.sim.batch import BatchEngine
+
+            return object.__new__(BatchEngine)
+        return object.__new__(cls)
+
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        if scheduler is None:
+            scheduler = default_scheduler()
         if scheduler not in ("wheel", "heap"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
         self.scheduler = scheduler
@@ -73,12 +136,16 @@ class Engine:
         self._near_bound: float = 0 if scheduler == "wheel" else float("inf")
         self._far: dict = {}
         self._bucket_heap: list = []
-        self._now: int = 0
+        self.now: int = 0
         self._seq: int = 0
         self._pending: int = 0
         self._events_processed: int = 0
         self._running = False
         self._tracer = None
+        # Wheel self-tuning state (never touched in heap mode).
+        self._refills = 0
+        self._promoted = 0
+        self._collapsed = scheduler != "wheel"
 
     def set_tracer(self, tracer) -> None:
         """Record every event dispatch into ``tracer`` (repro.obs).
@@ -90,11 +157,6 @@ class Engine:
         self._tracer = tracer
 
     @property
-    def now(self) -> int:
-        """Current simulation time in picoseconds."""
-        return self._now
-
-    @property
     def events_processed(self) -> int:
         return self._events_processed
 
@@ -103,20 +165,25 @@ class Engine:
         """Number of events still in the queue."""
         return self._pending
 
+    @property
+    def collapsed(self) -> bool:
+        """True once a sparse wheel folded itself into a plain heap."""
+        return self._collapsed and self.scheduler == "wheel"
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
         """Schedule ``callback(engine, *args)`` after ``delay`` ps."""
         if delay < 0:
-            raise SimulationError(f"negative delay {delay} scheduled at t={self._now}")
-        self._push(self._now + delay, callback, args)
+            raise SimulationError(f"negative delay {delay} scheduled at t={self.now}")
+        self._push(self.now + delay, callback, args)
 
     def schedule_at(self, time: int, callback: Callable, *args: Any) -> None:
         """Schedule ``callback(engine, *args)`` at absolute ``time`` ps."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"event scheduled in the past: t={time} < now={self._now}"
+                f"event scheduled in the past: t={time} < now={self.now}"
             )
         self._push(time, callback, args)
 
@@ -130,7 +197,7 @@ class Engine:
         tuples instead of having them re-packed per call.  Callers must
         guarantee ``delay >= 0``.
         """
-        self._push(self._now + delay, callback, args)
+        self._push(self.now + delay, callback, args)
 
     def _push(self, time: int, callback: Callable, args: tuple) -> None:
         if time < self._near_bound:
@@ -147,17 +214,44 @@ class Engine:
         self._pending += 1
 
     def _refill(self) -> bool:
-        """Promote the earliest wheel bucket into the near heap.
+        """Promote far buckets into the near heap (auto-sized).
 
-        Returns False when no events remain anywhere.
+        Consecutive earliest buckets are promoted until the near tier
+        holds :data:`NEAR_TARGET` events, then heapified once.  Returns
+        False when no events remain anywhere.
         """
-        if not self._bucket_heap:
+        bucket_heap = self._bucket_heap
+        if not bucket_heap:
             return False
-        index = heappop(self._bucket_heap)
-        bucket = self._far.pop(index)
-        heapify(bucket)
-        self._near = bucket
+        index = heappop(bucket_heap)
+        events = self._far.pop(index)
+        while len(events) < NEAR_TARGET and bucket_heap:
+            # Only contiguous buckets may join: a gap could otherwise
+            # admit a not-yet-scheduled event below the new boundary.
+            if bucket_heap[0] != index + 1:
+                break
+            index = heappop(bucket_heap)
+            events.extend(self._far.pop(index))
         self._near_bound = (index + 1) << WHEEL_SHIFT
+        self._refills += 1
+        self._promoted += len(events)
+        if (
+            self._refills >= COLLAPSE_REFILLS
+            and not self._collapsed
+            and self._promoted < COLLAPSE_DENSITY * self._refills
+        ):
+            # The wheel is not earning its bookkeeping: fold every
+            # remaining bucket into one heap and stop filing by bucket.
+            # Dispatch order is unchanged — the heap pops the same
+            # global (time, seq) order the buckets would have produced.
+            self._collapsed = True
+            for bucket in self._far.values():
+                events.extend(bucket)
+            self._far.clear()
+            bucket_heap.clear()
+            self._near_bound = float("inf")
+        heapify(events)
+        self._near = events
         return True
 
     # ------------------------------------------------------------------
@@ -201,7 +295,7 @@ class Engine:
                 near = self._near
                 while near:
                     time, _seq, callback, args = pop(near)
-                    self._now = time
+                    self.now = time
                     callback(self, *args)
                     processed += 1
                 if not self._refill():
@@ -237,15 +331,15 @@ class Engine:
             while True:
                 if not near:
                     if not self._refill():
-                        if bounded and until > self._now:
-                            self._now = until
+                        if bounded and until > self.now:
+                            self.now = until
                         return processed
                     near = self._near
                 if bounded and near[0][0] > until:
-                    self._now = until
+                    self.now = until
                     return processed
                 time, _seq, callback, args = pop(near)
-                self._now = time
+                self.now = time
                 callback(self, *args)
                 processed += 1
                 if limited and processed >= max_events:
@@ -253,7 +347,7 @@ class Engine:
                     self._events_processed += processed
                     processed = 0  # flushed; avoid double-count in finally
                     raise SimulationError(
-                        f"event limit {max_events} exceeded at t={self._now}; "
+                        f"event limit {max_events} exceeded at t={self.now}; "
                         "likely livelock"
                     )
                 if stop_when is not None and stop_when():
@@ -284,14 +378,14 @@ class Engine:
             while True:
                 head_time = self._peek_time()
                 if head_time is None:
-                    if bounded and until > self._now:
-                        self._now = until
+                    if bounded and until > self.now:
+                        self.now = until
                     return processed
                 if bounded and head_time > until:
-                    self._now = until
+                    self.now = until
                     return processed
                 time, _seq, callback, args = pop(self._near)
-                self._now = time
+                self.now = time
                 tracer.engine_event(
                     time, getattr(callback, "__qualname__", repr(callback))
                 )
@@ -302,7 +396,7 @@ class Engine:
                     self._events_processed += processed
                     processed = 0  # flushed; avoid double-count in finally
                     raise SimulationError(
-                        f"event limit {max_events} exceeded at t={self._now}; "
+                        f"event limit {max_events} exceeded at t={self.now}; "
                         "likely livelock"
                     )
                 if stop_when is not None and stop_when():
@@ -333,6 +427,30 @@ class Engine:
         """
         problems = []
         queued = len(self._near) + sum(len(b) for b in self._far.values())
+        self._check_pending(problems, queued)
+        heap_indices = sorted(self._bucket_heap)
+        far_indices = sorted(self._far)
+        if heap_indices != far_indices:
+            problems.append(
+                f"bucket heap {heap_indices} disagrees with far buckets "
+                f"{far_indices} (stale or unreachable wheel entry)"
+            )
+        elif len(set(heap_indices)) != len(heap_indices):
+            problems.append(f"duplicate bucket indices in heap: {heap_indices}")
+        for time, _seq, _cb, _args in self._near:
+            if time < self.now:
+                problems.append(f"near event at t={time} is before now={self.now}")
+                break
+            if time >= self._near_bound:
+                problems.append(
+                    f"near event at t={time} belongs beyond the boundary "
+                    f"{self._near_bound}"
+                )
+                break
+        self._check_far(problems)
+        return problems
+
+    def _check_pending(self, problems: list, queued: int) -> None:
         if self._running:
             # Mid-dispatch the pending counter still includes events this
             # run() call already processed (it is settled in batch when
@@ -346,25 +464,8 @@ class Engine:
             problems.append(
                 f"pending counter {self._pending} != {queued} queued events"
             )
-        heap_indices = sorted(self._bucket_heap)
-        far_indices = sorted(self._far)
-        if heap_indices != far_indices:
-            problems.append(
-                f"bucket heap {heap_indices} disagrees with far buckets "
-                f"{far_indices} (stale or unreachable wheel entry)"
-            )
-        elif len(set(heap_indices)) != len(heap_indices):
-            problems.append(f"duplicate bucket indices in heap: {heap_indices}")
-        for time, _seq, _cb, _args in self._near:
-            if time < self._now:
-                problems.append(f"near event at t={time} is before now={self._now}")
-                break
-            if time >= self._near_bound:
-                problems.append(
-                    f"near event at t={time} belongs beyond the boundary "
-                    f"{self._near_bound}"
-                )
-                break
+
+    def _check_far(self, problems: list) -> None:
         for index, bucket in self._far.items():
             for time, _seq, _cb, _args in bucket:
                 if time >> WHEEL_SHIFT != index:
@@ -373,12 +474,11 @@ class Engine:
                         f"(expected {time >> WHEEL_SHIFT})"
                     )
                     break
-                if time < self._now:
+                if time < self.now:
                     problems.append(
-                        f"far event at t={time} is before now={self._now}"
+                        f"far event at t={time} is before now={self.now}"
                     )
                     break
-        return problems
 
     def drain(self) -> None:
         """Discard all pending events (used to tear a system down)."""

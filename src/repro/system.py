@@ -25,6 +25,7 @@ from repro.memory import MemoryCube
 from repro.net.buffers import InputQueue
 from repro.net.link import Link, SharedChannel
 from repro.net.packet import Packet, PacketKind, Transaction
+from repro.net.pool import PacketPool
 from repro.net.router import LinkOutput, Router
 from repro.net.routing import RouteClass, RouteTable, cached_bfs_paths
 from repro.ras import FaultInjector
@@ -67,6 +68,11 @@ class MemoryNetworkSystem:
             self.topology.cube_ids(),
         )
         self.collector = TransactionCollector()
+        # One shared recycling allocator for every packet in the system
+        # (host requests and cube responses).  Recycled packets draw
+        # fresh pids from the global counter, so pooling is invisible to
+        # result digests; see repro.net.pool.
+        self.packet_pool = PacketPool()
 
         self._links: List[Tuple[Link, LinkKind]] = []
         self._routers: Dict[int, Router] = {}
@@ -151,6 +157,7 @@ class MemoryNetworkSystem:
                     router=router,
                     route_response=self._route_response,
                     bank_scale=self.config.capacity_scale,
+                    pool=self.packet_pool,
                 )
             # SWITCH nodes are pure routers: no local output needed.
 
@@ -262,6 +269,7 @@ class MemoryNetworkSystem:
             router=self._routers[HOST_ID],
             on_transaction_done=self._transaction_done,
             window=workload.mlp,
+            pool=self.packet_pool,
         )
         self.host_node.attach_port(self.port.on_response)
 
@@ -404,6 +412,15 @@ class MemoryNetworkSystem:
                 if victims:
                     removed = queue.remove(victims)
                     drained.append((queue, removed))
+                    # Released only now — after the removal — so a
+                    # recycled carcass can never alias a packet the
+                    # remove() walk still compares against.
+                    for victim in victims:
+                        self.packet_pool.release(victim)
+                # A head rerouted in place invalidates the queue's
+                # cached output key; the batched credit returns below
+                # re-enter arbitration before the routers are kicked.
+                queue.refresh_head_key()
         # Queued-but-uninjected responses live outside the router queues.
         for cube in self.cubes.values():
             for controller in cube.controllers:
@@ -462,6 +479,9 @@ class MemoryNetworkSystem:
             return True
         self._drop_packet(engine, packet)
         link.return_credit(engine)
+        # Last: _drop_packet/return_credit cascades may acquire new
+        # packets, and this carcass must not be recycled while they run.
+        self.packet_pool.release(packet)
         return False
 
     def _drop_packet(self, engine: Engine, packet: Packet) -> None:

@@ -1,0 +1,178 @@
+"""Unit tests for the batched cohort-execution engine (``Engine("batch")``).
+
+Digest-level equivalence against heap/wheel lives in
+``test_scheduler_equivalence.py``; this file covers the batch engine's
+own mechanics: dispatch order through the sorted window and spill heap,
+bounded runs, cohort accounting, integrity introspection, and the
+numpy-optionality contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.sim.batch as batch_mod
+from repro.errors import SimulationError
+from repro.sim.batch import COHORT_HIST_MAX, BatchEngine
+from repro.sim.engine import WHEEL_SHIFT, Engine
+
+PERIOD = 1 << WHEEL_SHIFT
+
+
+def test_engine_batch_dispatches_to_subclass():
+    engine = Engine("batch")
+    assert isinstance(engine, BatchEngine)
+    assert engine.scheduler == "batch"
+
+
+def test_env_default_selects_batch(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "batch")
+    assert isinstance(Engine(), BatchEngine)
+
+
+def test_requires_numpy(monkeypatch):
+    monkeypatch.setattr(batch_mod, "_np", None)
+    with pytest.raises(SimulationError, match="numpy"):
+        Engine("batch")
+
+
+def test_rejects_other_scheduler_names():
+    with pytest.raises(ValueError):
+        BatchEngine("wheel")
+
+
+def test_fires_in_time_then_seq_order():
+    engine = Engine("batch")
+    log = []
+    # Deliberately spans several wheel buckets and includes ties.
+    delays = [5, 3 * PERIOD, 3, 3, PERIOD, 3 * PERIOD, 0]
+    for tag, delay in enumerate(delays):
+        engine.schedule(delay, lambda eng, t: log.append((eng.now, t)), tag)
+    assert engine.run() == len(delays)
+    expected = sorted(
+        ((delay, tag) for tag, delay in enumerate(delays)),
+    )
+    assert log == expected
+    assert engine.pending == 0
+    assert engine.events_processed == len(delays)
+
+
+def test_reentrant_same_time_events_spill():
+    engine = Engine("batch")
+    log = []
+
+    def chain(eng, depth):
+        log.append((eng.now, depth))
+        if depth:
+            eng.schedule(0, chain, depth - 1)
+
+    engine.schedule(7, chain, 3)
+    engine.run()
+    assert log == [(7, 3), (7, 2), (7, 1), (7, 0)]
+    assert engine._spilled == 3  # re-entrant arrivals took the spill heap
+
+
+def test_run_until_leaves_future_events():
+    engine = Engine("batch")
+    fired = []
+    engine.schedule(10, lambda eng: fired.append(eng.now))
+    engine.schedule(2 * PERIOD, lambda eng: fired.append(eng.now))
+    engine.run(until=PERIOD)
+    assert fired == [10]
+    assert engine.now == PERIOD
+    assert engine.pending == 1
+    engine.run()
+    assert fired == [10, 2 * PERIOD]
+
+
+def test_max_events_raises_on_livelock():
+    engine = Engine("batch")
+
+    def forever(eng):
+        eng.schedule(0, forever)
+
+    engine.schedule(0, forever)
+    with pytest.raises(SimulationError, match="event limit"):
+        engine.run(max_events=50)
+
+
+def test_stop_when_halts_run():
+    engine = Engine("batch")
+    fired = []
+    for delay in (1, 2, 3, 4):
+        engine.schedule(delay, lambda eng: fired.append(eng.now))
+    engine.run(stop_when=lambda: len(fired) >= 2)
+    assert fired == [1, 2]
+    assert engine.pending == 2
+
+
+def test_traced_run_matches_untraced_order():
+    class StubTracer:
+        def __init__(self):
+            self.events = []
+
+        def engine_event(self, time, name):
+            self.events.append(time)
+
+    delays = [4, 4, PERIOD + 1, 0, 3 * PERIOD]
+    untraced = Engine("batch")
+    plain_log = []
+    for delay in delays:
+        untraced.schedule(delay, lambda eng: plain_log.append(eng.now))
+    untraced.run()
+
+    traced = Engine("batch")
+    tracer = StubTracer()
+    traced.set_tracer(tracer)
+    traced_log = []
+    for delay in delays:
+        traced.schedule(delay, lambda eng: traced_log.append(eng.now))
+    traced.run()
+    assert traced_log == plain_log
+    assert tracer.events == plain_log
+
+
+def test_cohort_stats_accumulate():
+    engine = Engine("batch")
+    # Two cohorts in one far bucket: three events at t=PERIOD, one later.
+    for _ in range(3):
+        engine.schedule(PERIOD, lambda eng: None)
+    engine.schedule(PERIOD + 8, lambda eng: None)
+    engine.run()
+    stats = engine.cohort_stats()
+    assert stats["histogram"] == {1: 1, 3: 1}
+    assert stats["cohorts"] == 2
+    assert stats["batched_events"] == 4
+    assert stats["windows"] == 1
+    assert stats["mean_cohort"] == 2.0
+
+
+def test_cohort_histogram_overflow_bin():
+    engine = Engine("batch")
+    for _ in range(COHORT_HIST_MAX + 5):
+        engine.schedule(PERIOD, lambda eng: None)
+    engine.run()
+    stats = engine.cohort_stats()
+    assert stats["histogram"] == {COHORT_HIST_MAX: 1}
+
+
+def test_integrity_clean_through_run():
+    engine = Engine("batch")
+    for delay in (0, 5, PERIOD, 2 * PERIOD, 2 * PERIOD):
+        engine.schedule(delay, lambda eng: None)
+    assert engine.integrity_errors() == []
+    engine.run()
+    assert engine.integrity_errors() == []
+    assert engine.pending == 0
+
+
+def test_drain_clears_everything():
+    engine = Engine("batch")
+    for delay in (1, PERIOD, 5 * PERIOD):
+        engine.schedule(delay, lambda eng: None)
+    engine.run(until=0)  # forces a refill into the window
+    engine.drain()
+    assert engine.pending == 0
+    assert engine.run() == 0

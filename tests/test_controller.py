@@ -82,9 +82,11 @@ class TestBasicService:
     def test_timestamps_recorded(self):
         h = Harness()
         packet = make_request()
+        # Served request packets are recycled through the controller's
+        # PacketPool, so hold the transaction, not the packet.
+        txn = packet.transaction
         h.send(packet)
         h.run()
-        txn = packet.transaction
         assert txn.mem_depart_ps == dram_tech().trcd_ps + dram_tech().tcl_ps
         assert txn.dest_tech == "DRAM"
         assert txn.row_hit is False
@@ -92,22 +94,24 @@ class TestBasicService:
     def test_row_hit_faster_second_access(self):
         h = Harness()
         first, second = make_request(row=3), make_request(row=3)
+        txn1, txn2 = first.transaction, second.transaction
         h.send(first)
         h.send(second)
         h.run()
-        t1 = first.transaction.mem_depart_ps
-        t2 = second.transaction.mem_depart_ps
-        assert second.transaction.row_hit
+        t1 = txn1.mem_depart_ps
+        t2 = txn2.mem_depart_ps
+        assert txn2.row_hit
         assert t2 - t1 == dram_tech().tcl_ps
 
     def test_bank_parallelism_with_frfcfs(self):
         h = Harness(scheduling="frfcfs")
         a, b = make_request(bank=0), make_request(bank=1)
+        txn_a, txn_b = a.transaction, b.transaction
         h.send(a)
         h.send(b)
         h.run()
         # both banks were accessed concurrently: same completion time
-        assert a.transaction.mem_depart_ps == b.transaction.mem_depart_ps
+        assert txn_a.mem_depart_ps == txn_b.mem_depart_ps
 
 
 class TestScheduling:
@@ -117,13 +121,14 @@ class TestScheduling:
         write = make_request(bank=0, row=1, is_write=True)
         blocked_miss = make_request(bank=0, row=2)
         other_bank = make_request(bank=1, row=1)
+        other_txn = other_bank.transaction
         h.send(write)
         h.send(blocked_miss)
         h.send(other_bank)
         h.run()
         # under strict FCFS the other-bank request waits behind the
         # blocked miss (which waits out tWR)
-        assert other_bank.transaction.mem_depart_ps > ns(320)
+        assert other_txn.mem_depart_ps > ns(320)
 
     def test_frfcfs_bypasses_blocked_head(self):
         nvm = nvm_tech()
@@ -131,11 +136,12 @@ class TestScheduling:
         write = make_request(bank=0, row=1, is_write=True)
         blocked_miss = make_request(bank=0, row=2)
         other_bank = make_request(bank=1, row=1)
+        other_txn = other_bank.transaction
         h.send(write)
         h.send(blocked_miss)
         h.send(other_bank)
         h.run()
-        assert other_bank.transaction.mem_depart_ps < ns(320)
+        assert other_txn.mem_depart_ps < ns(320)
 
     def test_invalid_scheduling_rejected(self):
         with pytest.raises(ValueError):

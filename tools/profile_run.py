@@ -11,6 +11,7 @@ Usage::
     PYTHONPATH=src python tools/profile_run.py [--requests N]
         [--workload NAME] [--label CONFIG] [--sort tottime|cumtime]
         [--limit N] [--obs] [--stats PATH]
+        [--engine {heap,wheel,batch}]
 
 ``--stats PATH`` additionally dumps the raw pstats file for
 ``snakeviz``/``pstats`` post-processing.  ``--label`` accepts the same
@@ -25,6 +26,7 @@ import pstats
 import sys
 
 from repro.config import SystemConfig, parse_label
+from repro.sim.engine import Engine
 from repro.system import MemoryNetworkSystem
 from repro.units import TIB_BYTES
 from repro.workloads import get_workload
@@ -38,13 +40,19 @@ def profile_simulation(
     sort: str,
     limit: int,
     stats_path: str | None,
+    engine: str | None = None,
 ) -> None:
     config = SystemConfig(total_capacity_bytes=TIB_BYTES)
     if label:
         config = parse_label(label, config)
     if obs:
         config = config.with_obs(attribution=True)
-    system = MemoryNetworkSystem(config, get_workload(workload), requests=requests)
+    system = MemoryNetworkSystem(
+        config,
+        get_workload(workload),
+        requests=requests,
+        engine=Engine(engine) if engine else None,
+    )
 
     profiler = cProfile.Profile()
     profiler.enable()
@@ -84,10 +92,15 @@ def main(argv=None) -> int:
         "--stats", default=None, metavar="PATH",
         help="also dump the raw pstats file to PATH",
     )
+    parser.add_argument(
+        "--engine", default=None, choices=("heap", "wheel", "batch"),
+        help="event-scheduler backend to profile (default: the ambient "
+        "one — REPRO_ENGINE or the wheel)",
+    )
     args = parser.parse_args(argv)
     profile_simulation(
         args.requests, args.workload, args.label, args.obs,
-        args.sort, args.limit, args.stats,
+        args.sort, args.limit, args.stats, args.engine,
     )
     return 0
 
