@@ -12,7 +12,8 @@ Three ways to turn audits on, in precedence order:
 1. explicitly per system: ``MemoryNetworkSystem(..., audit=True)``,
 2. ambiently for the process: :func:`set_audits` or the
    :func:`audits` context manager,
-3. via the environment: ``REPRO_AUDIT=1`` — this is how audits reach
+3. via the environment: ``REPRO_AUDIT=1`` (any spelling
+   :func:`repro.env.env_flag` accepts) — this is how audits reach
    runner *worker processes* (they inherit the environment) and the
    ``--audit`` flag of ``python -m repro.experiments``.
 
@@ -24,10 +25,10 @@ context.  See ``docs/testing.md``.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 
 from repro.check.auditor import InvariantAuditor
+from repro.env import env_flag
 from repro.errors import InvariantViolation
 
 __all__ = [
@@ -58,7 +59,9 @@ def audits_enabled() -> bool:
     """True if systems built now should attach an auditor by default."""
     if _AMBIENT:
         return True
-    return os.environ.get("REPRO_AUDIT", "0") not in ("", "0")
+    # env_flag rejects spellings like "false"/"off"/"no" that the old
+    # ``not in ("", "0")`` test silently treated as enabled.
+    return env_flag("REPRO_AUDIT")
 
 
 @contextmanager

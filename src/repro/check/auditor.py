@@ -30,14 +30,19 @@ packet.conservation   healthy end of run leaves no packet anywhere;
                       degraded runs may strand only failed transactions
 router.accounting     grants issued == packets popped from the inputs
 controller.admission  queue + reservations never exceed the depth
-port.window           outstanding reads/writes stay within the MLP
-                      window and store buffer
+port.window           outstanding reads/writes/p2p copies stay within
+                      the MLP window and store buffer
 port.backlog          the split pending lists tile the pending list and
                       the per-kind counters tile the totals
 port.directory        directory outstanding writes == port outstanding
                       writes
 txn.conservation      generated == completed + failed (+ in flight
                       mid-run), per kind and in total
+p2p.conservation      peer-to-peer copies conserve: generated ==
+                      completed + failed at end of run
+p2p.leak              no P2P_XFER packet is ever queued on a route that
+                      terminates at the host port (cube-to-cube data
+                      never crosses a host link)
 obs.attribution       segment sums tile end-to-end latency exactly
                       (zero unattributed residual), per phase
 energy.totals         the reported energy equals a recomputation from
@@ -58,6 +63,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Tuple
 
 from repro.errors import InvariantViolation
+from repro.net.packet import PacketKind
 from repro.net.routing import RouteClass
 from repro.obs.attribution import UNATTRIBUTED, PHASES, phase_of
 from repro.topology.base import LinkKind
@@ -102,6 +108,7 @@ class InvariantAuditor:
         self._check_controllers(out)
         self._check_port(out, final=point == "final")
         self._check_pool(out)
+        self._check_p2p(out)
         self._check_ras(out)
         if point == "final":
             self._check_final(out)
@@ -348,24 +355,35 @@ class InvariantAuditor:
                 f"outstanding writes {port.outstanding_writes} outside "
                 f"[0, {host.store_buffer_entries}]",
             ))
+        if not 0 <= port.outstanding_p2p <= host.store_buffer_entries:
+            out.append((
+                "port.window", "port",
+                f"outstanding p2p copies {port.outstanding_p2p} outside "
+                f"[0, {host.store_buffer_entries}]",
+            ))
         reads = len(port._pending_reads)
         writes = len(port._pending_writes)
-        if len(port.pending) != reads + writes:
+        p2p = len(port._pending_p2p)
+        if len(port.pending) != reads + writes + p2p:
             out.append((
                 "port.backlog", "port",
                 f"{len(port.pending)} pending != {reads} reads + "
-                f"{writes} writes",
+                f"{writes} writes + {p2p} p2p",
             ))
         for total, parts in (
-            ("generated", (port.generated_reads, port.generated_writes)),
-            ("completed", (port.completed_reads, port.completed_writes)),
-            ("failed", (port.failed_reads, port.failed_writes)),
+            ("generated", (port.generated_reads, port.generated_writes,
+                           port.generated_p2p)),
+            ("completed", (port.completed_reads, port.completed_writes,
+                           port.completed_p2p)),
+            ("failed", (port.failed_reads, port.failed_writes,
+                        port.failed_p2p)),
         ):
             whole = getattr(port, total)
             if whole != sum(parts):
                 out.append((
                     "port.backlog", "port",
-                    f"{total} {whole} != reads {parts[0]} + writes {parts[1]}",
+                    f"{total} {whole} != reads {parts[0]} + writes "
+                    f"{parts[1]} + p2p {parts[2]}",
                 ))
         if port.directory.outstanding_writes != port.outstanding_writes:
             out.append((
@@ -393,15 +411,17 @@ class InvariantAuditor:
                     f"{port.completed} completed + {port.failed} failed "
                     f"!= {port.generated} generated",
                 ))
-            for kind, gen, done, failed in (
-                ("reads", port.generated_reads, port.completed_reads,
-                 port.failed_reads),
-                ("writes", port.generated_writes, port.completed_writes,
-                 port.failed_writes),
+            for invariant, kind, gen, done, failed in (
+                ("txn.conservation", "reads", port.generated_reads,
+                 port.completed_reads, port.failed_reads),
+                ("txn.conservation", "writes", port.generated_writes,
+                 port.completed_writes, port.failed_writes),
+                ("p2p.conservation", "p2p copies", port.generated_p2p,
+                 port.completed_p2p, port.failed_p2p),
             ):
                 if gen != done + failed:
                     out.append((
-                        "txn.conservation", "port",
+                        invariant, "port",
                         f"{kind}: generated {gen} != completed {done} "
                         f"+ failed {failed}",
                     ))
@@ -473,6 +493,37 @@ class InvariantAuditor:
                     f"{port.directory.outstanding_writes} directory "
                     "writes outstanding at end of run",
                 ))
+
+    def _check_p2p(self, out: List[Violation]) -> None:
+        """No peer-to-peer data transfer may be headed for the host.
+
+        P2P_XFER packets carry cube-to-cube data; only the lightweight
+        P2P_ACK returns to the host port.  A queued transfer whose route
+        terminates at the host node means the injection or reroute logic
+        aimed DMA data at a port that must never admit it (the host's
+        ``_deliver`` would raise, but catching it here names the queue
+        the bad route was found in).
+        """
+        host_id = self.system.route_table.host_id
+        for packets, where in self._iter_resident_packets():
+            for packet in packets:
+                if packet.kind is PacketKind.P2P_XFER and (
+                    packet.route and packet.route[-1] == host_id
+                ):
+                    out.append((
+                        "p2p.leak", where,
+                        f"{packet!r} is a p2p transfer routed to the "
+                        f"host node {host_id}",
+                    ))
+
+    def _iter_resident_packets(self):
+        """(packets, component-name) for every resident population."""
+        for queue in self._iter_queues():
+            yield queue.packets(), queue.name
+        for cube in self.system.cubes.values():
+            for controller in cube.controllers:
+                yield list(controller._queue), controller.name
+                yield list(controller._pending_responses), controller.name
 
     def _check_ras(self, out: List[Violation]) -> None:
         system = self.system

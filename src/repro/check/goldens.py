@@ -20,6 +20,7 @@ golden pass certifies conservation as well as bit-stability.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import VALID_ARBITERS, SystemConfig
@@ -59,24 +60,37 @@ def _matrix_workload() -> WorkloadSpec:
     )
 
 
-def matrix_cases() -> List[Tuple[str, SystemConfig]]:
+def _p2p_workload() -> WorkloadSpec:
+    return replace(_matrix_workload(), p2p_fraction=0.15)
+
+
+#: A case is ``(name, config, workload)``; ``None`` means the shared
+#: matrix workload.
+MatrixCase = Tuple[str, SystemConfig, Optional[WorkloadSpec]]
+
+
+def matrix_cases() -> List[MatrixCase]:
     """Named configs of the simulation matrix, in a stable order."""
-    cases: List[Tuple[str, SystemConfig]] = []
+    cases: List[MatrixCase] = []
     for topology in MATRIX_TOPOLOGIES:
         base = _matrix_config(topology=topology)
-        cases.append((f"{topology}/base", base))
-        cases.append((f"{topology}/obs", base.with_obs(attribution=True)))
-        cases.append((f"{topology}/ras", base.with_ras(bit_error_rate=1e-6)))
+        cases.append((f"{topology}/base", base, None))
+        cases.append((f"{topology}/obs", base.with_obs(attribution=True), None))
+        cases.append((
+            f"{topology}/ras", base.with_ras(bit_error_rate=1e-6), None
+        ))
         cases.append((
             f"{topology}/obs+ras",
             base.with_obs(attribution=True).with_ras(bit_error_rate=1e-6),
+            None,
         ))
     for arbiter in VALID_ARBITERS:
         cases.append((
             f"skiplist/arb-{arbiter}",
             _matrix_config(topology="skiplist", arbiter=arbiter),
+            None,
         ))
-    cases.append(("tree/base", _matrix_config(topology="tree")))
+    cases.append(("tree/base", _matrix_config(topology="tree"), None))
     # Permanent failures drive the quiesce/reroute path (and its audit
     # point); one link cut on the chain, one whole cube on the skip-list.
     cases.append((
@@ -84,12 +98,30 @@ def matrix_cases() -> List[Tuple[str, SystemConfig]]:
         _matrix_config(topology="chain").with_ras(
             link_failures=((2, 3, 200_000),)
         ),
+        None,
     ))
     cases.append((
         "skiplist/ras-cubefail",
         _matrix_config(topology="skiplist")
         .with_obs(attribution=True)
         .with_ras(cube_failures=((3, 250_000),)),
+        None,
+    ))
+    # Peer-to-peer copies over a mixed-tier chain: the promote pattern
+    # needs both technologies present to pick an opposite-tier target,
+    # and the four modes pin down p2p's interaction with attribution
+    # segments and CRC replays.
+    p2p_base = _matrix_config(
+        topology="chain", dram_fraction=0.5, p2p_pattern="promote"
+    )
+    p2p = _p2p_workload()
+    cases.append(("p2p/base", p2p_base, p2p))
+    cases.append(("p2p/obs", p2p_base.with_obs(attribution=True), p2p))
+    cases.append(("p2p/ras", p2p_base.with_ras(bit_error_rate=1e-6), p2p))
+    cases.append((
+        "p2p/obs+ras",
+        p2p_base.with_obs(attribution=True).with_ras(bit_error_rate=1e-6),
+        p2p,
     ))
     return cases
 
@@ -98,6 +130,7 @@ def run_matrix_case(
     config: SystemConfig,
     requests: int = MATRIX_REQUESTS,
     audit: bool = True,
+    workload: Optional[WorkloadSpec] = None,
 ) -> Dict[str, object]:
     """Simulate one matrix case and reduce it to a golden entry.
 
@@ -107,7 +140,10 @@ def run_matrix_case(
     from repro.system import MemoryNetworkSystem
 
     system = MemoryNetworkSystem(
-        config, _matrix_workload(), requests=requests, audit=audit
+        config,
+        workload if workload is not None else _matrix_workload(),
+        requests=requests,
+        audit=audit,
     )
     result = system.run()
     return {
@@ -122,8 +158,8 @@ def run_matrix_case(
 def compute_matrix(audit: bool = True) -> Dict[str, Dict[str, object]]:
     """Run the whole matrix; returns ``{case name: golden entry}``."""
     return {
-        name: run_matrix_case(config, audit=audit)
-        for name, config in matrix_cases()
+        name: run_matrix_case(config, audit=audit, workload=workload)
+        for name, config, workload in matrix_cases()
     }
 
 

@@ -330,6 +330,13 @@ VALID_TOPOLOGIES = (
 NVM_LAST = "last"
 NVM_FIRST = "first"
 
+# Peer-to-peer copy destination patterns (see SystemConfig.p2p_pattern)
+P2P_NEIGHBOR = "neighbor"
+P2P_SHUFFLE = "shuffle"
+P2P_PROMOTE = "promote"
+
+VALID_P2P_PATTERNS = (P2P_NEIGHBOR, P2P_SHUFFLE, P2P_PROMOTE)
+
 
 # ---------------------------------------------------------------------------
 # Top-level system configuration
@@ -381,6 +388,13 @@ class SystemConfig:
     # as cache/queue warm-up (they are still simulated and still count
     # toward runtime).
     warmup_fraction: float = 0.0
+    # Destination-selection pattern for peer-to-peer copies (NOM-style
+    # cube-to-cube DMA; active only when the workload's p2p_fraction is
+    # non-zero): "neighbor" copies to the next cube in address-map
+    # order, "shuffle" to the farthest rotation (bisection stress), and
+    # "promote" moves lines to the opposite memory tier (hot-page
+    # promotion NVM -> DRAM, with DRAM -> NVM demotions making room).
+    p2p_pattern: str = P2P_NEIGHBOR
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -396,6 +410,8 @@ class SystemConfig:
             raise ConfigError("capacity_scale must be positive")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ConfigError("warmup_fraction must be in [0, 1)")
+        if self.p2p_pattern not in VALID_P2P_PATTERNS:
+            raise ConfigError(f"unknown p2p pattern {self.p2p_pattern!r}")
         self.link.validate()
         self.obs.validate()
         self.ras.validate()

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.errors import SimulationError
 from repro.net.buffers import InputQueue
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketKind
 from repro.net.router import LOCAL, LocalOutput, Router
 from repro.sim.engine import Engine
 
@@ -36,4 +37,11 @@ class HostNode:
     def _deliver(self, engine: Engine, packet: Packet, input_index: int) -> None:
         if self._on_response is None:
             raise RuntimeError("host received a response before attach_port()")
+        if packet.kind is PacketKind.P2P_XFER:
+            # Copied lines travel cube -> cube; they may transit the host
+            # router as a switch but must never terminate at its port.
+            raise SimulationError(
+                f"p2p transfer packet #{packet.pid} leaked to the host port "
+                f"(route {packet.route})"
+            )
         self._on_response(engine, packet)

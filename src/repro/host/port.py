@@ -22,7 +22,7 @@ from typing import Callable, Deque, Iterator, List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.errors import WorkloadError
-from repro.host.address_map import AddressMap
+from repro.host.address_map import AddressMap, Location
 from repro.host.directory import Directory
 from repro.net.buffers import InputQueue
 from repro.net.packet import Packet, Transaction
@@ -57,6 +57,7 @@ class HostPort:
         on_transaction_done: Callable[[Engine, Transaction], None],
         window: Optional[int] = None,
         pool: Optional[PacketPool] = None,
+        cube_techs: Optional[Sequence[str]] = None,
     ) -> None:
         self.port_id = port_id
         self.config = config
@@ -82,8 +83,21 @@ class HostPort:
         # the same backlog split by kind, for room-gated selection scans
         self._pending_reads: List[Transaction] = []
         self._pending_writes: List[Transaction] = []
+        self._pending_p2p: List[Transaction] = []
         self.outstanding_reads = 0
         self.outstanding_writes = 0
+        # Peer-to-peer copies run on the DMA engine's queue, sized like
+        # the store buffer: copies leave the core's critical path once
+        # issued, so they must not consume read MLP.
+        self.outstanding_p2p = 0
+        # Destination-cube selection for p2p copies (config.p2p_pattern).
+        # ``cube_techs`` aligns with ``cube_node_ids``; the "promote"
+        # pattern moves lines to the opposite technology tier.
+        self.cube_techs = list(cube_techs) if cube_techs is not None else None
+        self._tech_cubes = {}
+        if self.cube_techs is not None:
+            for index, tech in enumerate(self.cube_techs):
+                self._tech_cubes.setdefault(tech, []).append(index)
         # in-order read retirement (wavefront semantics)
         self._read_seq = 0
         self._retire_head = 0
@@ -99,10 +113,13 @@ class HostPort:
         # generated_k == completed_k + failed_k must hold for each kind
         self.generated_reads = 0
         self.generated_writes = 0
+        self.generated_p2p = 0
         self.completed_reads = 0
         self.completed_writes = 0
+        self.completed_p2p = 0
         self.failed_reads = 0
         self.failed_writes = 0
+        self.failed_p2p = 0
         # RAS: requests failed as host-level errors (dest cube became
         # unreachable after a permanent failure) and responses that beat
         # the failure across the cut after their transaction was already
@@ -144,6 +161,7 @@ class HostPort:
             is_write=request.is_write,
             port_id=self.port_id,
             issue_ps=engine.now,
+            is_p2p=request.is_p2p,
         )
         if self._attribution:
             txn.segments = []
@@ -153,6 +171,10 @@ class HostPort:
         if request.is_write:
             self._pending_writes.append(txn)
             self.generated_writes += 1
+        elif request.is_p2p:
+            self._assign_p2p_dest(txn)
+            self._pending_p2p.append(txn)
+            self.generated_p2p += 1
         else:
             self._pending_reads.append(txn)
             self.generated_reads += 1
@@ -161,6 +183,54 @@ class HostPort:
         self.try_inject(engine)
         if self.generated < self.total_requests:
             engine.schedule(max(request.gap_ps, 0), self._next_arrival)
+
+    # -- p2p destination selection ------------------------------------------
+    def _assign_p2p_dest(self, txn: Transaction) -> None:
+        """Pick the copy's destination cube per ``config.p2p_pattern``.
+
+        Deterministic functions of the source placement and address
+        only — no RNG draws — so destination choice is digest-stable by
+        construction across engines and run orders.
+        """
+        num_cubes = len(self.cube_node_ids)
+        src = txn.location.cube_index
+        pattern = self.config.p2p_pattern
+        if pattern == "shuffle":
+            # the farthest rotation: stresses bisection links
+            dest = (src + (num_cubes + 1) // 2) % num_cubes
+        elif pattern == "promote":
+            dest = self._promote_dest(src, txn.address)
+        else:  # "neighbor": next cube in address-map order
+            dest = (src + 1) % num_cubes
+        txn.p2p_dest_cube = self.cube_node_ids[dest]
+        loc = txn.location
+        # The line lands at the mirrored placement of the destination
+        # cube (same quadrant/bank/row indices, different package).
+        txn.p2p_dest_location = Location(
+            cube_index=dest,
+            quadrant=loc.quadrant,
+            bank=loc.bank,
+            row=loc.row,
+            offset=loc.offset,
+        )
+
+    def _promote_dest(self, src: int, address: int) -> int:
+        """Hot-page promotion: move lines to the opposite memory tier.
+
+        NVM-resident lines promote to a DRAM cube (and DRAM lines
+        demote to NVM, modeling the eviction that makes room), spread
+        across the target tier by page number.  Falls back to the
+        neighbor pattern when the MN has a single technology.
+        """
+        techs = self.cube_techs
+        if techs is None:
+            return (src + 1) % len(self.cube_node_ids)
+        target_tier = "DRAM" if techs[src] != "DRAM" else "NVM"
+        candidates = self._tech_cubes.get(target_tier)
+        if not candidates:
+            return (src + 1) % len(self.cube_node_ids)
+        page = address >> 12  # 4 KiB pages
+        return candidates[page % len(candidates)]
 
     # -- hysteresis ------------------------------------------------------------
     def _observe_for_hysteresis(self, is_write: bool) -> None:
@@ -184,46 +254,77 @@ class HostPort:
         Writes leave the core's critical path once issued (Section 4.2),
         so they must not consume read MLP — this is what lets the
         skip-list push writes onto longer paths without stalling reads.
+        Peer-to-peer copies ride the DMA engine's queue, sized like the
+        store buffer, for the same reason.
         """
         if txn.is_write:
             return self.outstanding_writes < self.config.host.store_buffer_entries
+        if txn.is_p2p:
+            return self.outstanding_p2p < self.config.host.store_buffer_entries
         return self.outstanding_reads < self.window
 
-    def _select_next(self, read_room: bool, write_room: bool) -> Optional[Transaction]:
+    def _select_next(
+        self, read_room: bool, write_room: bool, p2p_room: bool = False
+    ) -> Optional[Transaction]:
         """Pick the next pending transaction to inject.
 
         The backlog is kept split by kind (``_pending_reads`` /
-        ``_pending_writes``, both in generation order) so that when one
-        window is full — the common case is a full read window over a
-        read-heavy backlog — the scan skips the other kind's pile
-        wholesale instead of filtering it element by element.  Selection
-        is unchanged: first eligible read (when read-priority injection
-        is on), else the first eligible transaction in generation order.
+        ``_pending_writes`` / ``_pending_p2p``, all in generation order)
+        so that when one window is full — the common case is a full read
+        window over a read-heavy backlog — the scan skips the other
+        kinds' piles wholesale instead of filtering them element by
+        element.  Selection is unchanged: first eligible read (when
+        read-priority injection is on), else the first eligible
+        transaction in generation order; p2p copies count as
+        non-priority traffic, like writes.
         """
         can_issue = self.directory.can_issue
-        if not read_room:
-            for txn in self._pending_writes:
-                if can_issue(txn.address, True):
+        if not self._pending_p2p:
+            # two-kind fast paths (p2p-free backlog, the common case)
+            if not read_room:
+                for txn in self._pending_writes:
+                    if can_issue(txn.address, True):
+                        return txn
+                return None
+            if not write_room:
+                for txn in self._pending_reads:
+                    if can_issue(txn.address, False):
+                        return txn
+                return None
+            read_priority = self.config.host.read_priority_injection
+            first_eligible = None
+            for txn in self.pending:
+                is_write = txn.is_write
+                if not can_issue(txn.address, is_write):
+                    continue
+                if read_priority:
+                    if not is_write:
+                        return txn  # first eligible read bypasses writes
+                    if first_eligible is None:
+                        first_eligible = txn
+                else:
                     return txn
-            return None
-        if not write_room:
-            for txn in self._pending_reads:
-                if can_issue(txn.address, False):
-                    return txn
-            return None
+            return first_eligible
+        # general scan: every kind gated by its own window.  A p2p copy
+        # claims the directory as a *read* of its source address.
         read_priority = self.config.host.read_priority_injection
         first_eligible = None
         for txn in self.pending:
-            is_write = txn.is_write
-            if not can_issue(txn.address, is_write):
-                continue
-            if read_priority:
-                if not is_write:
-                    return txn  # first eligible read bypasses queued writes
-                if first_eligible is None:
-                    first_eligible = txn
+            if txn.is_write:
+                if not write_room or not can_issue(txn.address, True):
+                    continue
+            elif txn.is_p2p:
+                if not p2p_room or not can_issue(txn.address, False):
+                    continue
             else:
+                if not read_room or not can_issue(txn.address, False):
+                    continue
+                if read_priority:
+                    return txn  # first eligible read bypasses the rest
+            if not read_priority:
                 return txn
+            if first_eligible is None:
+                first_eligible = txn
         return first_eligible
 
     def try_inject(self, engine: Engine) -> None:
@@ -231,23 +332,29 @@ class HostPort:
         while self.pending:
             read_room = self.outstanding_reads < self.window
             write_room = self.outstanding_writes < host.store_buffer_entries
-            if not read_room and not write_room:
-                return  # no window slot of either kind is free
-            txn = self._select_next(read_room, write_room)
+            if self._pending_p2p:
+                p2p_room = self.outstanding_p2p < host.store_buffer_entries
+                if not read_room and not write_room and not p2p_room:
+                    return  # no window slot of any kind is free
+            else:
+                p2p_room = False
+                if not read_room and not write_room:
+                    return  # no window slot of either kind is free
+            txn = self._select_next(read_room, write_room, p2p_room)
             if txn is None:
                 return  # everything pending is blocked or out of room
             self.pending.remove(txn)
             if txn.is_write:
                 self._pending_writes.remove(txn)
+            elif txn.is_p2p:
+                self._pending_p2p.remove(txn)
             else:
                 self._pending_reads.remove(txn)
-            if self._degraded and not self.route_table.is_reachable(
-                txn.dest_cube, self._reach_class_for(txn)
-            ):
+            if self._degraded and not self._reachable(txn):
                 self._fail_unissued(engine, txn)
                 continue
             txn.start_ps = engine.now
-            if not txn.is_write:
+            if not txn.is_write and not txn.is_p2p:
                 txn.read_seq = self._read_seq
                 self._read_seq += 1
             # The request crosses the on-chip path from the coherence
@@ -257,6 +364,8 @@ class HostPort:
             self.directory.issued(txn.address, txn.is_write)
             if txn.is_write:
                 self.outstanding_writes += 1
+            elif txn.is_p2p:
+                self.outstanding_p2p += 1
             else:
                 self.outstanding_reads += 1
             if self._track_outstanding:
@@ -282,7 +391,10 @@ class HostPort:
             seg.append((_SEG_REQ_PORT, txn.start_ps, reached_port))
             if engine.now > reached_port:
                 seg.append((_SEG_REQ_INJECT, reached_port, engine.now))
-        packet = self.pool.request_packet(self.config.packet, txn, engine.now)
+        if txn.is_p2p:
+            packet = self.pool.p2p_request_packet(self.config.packet, txn, engine.now)
+        else:
+            packet = self.pool.request_packet(self.config.packet, txn, engine.now)
         packet.src = self.route_table.host_id
         packet.dest = txn.dest_cube
         route_class = self._route_class_for(txn)
@@ -311,6 +423,22 @@ class HostPort:
         as unreachable for writes — the skip-list WRITE-class error case.
         """
         return RouteClass.WRITE if txn.is_write else RouteClass.READ
+
+    def _reachable(self, txn: Transaction) -> bool:
+        """Can this transaction still complete over the current table?
+
+        Regular transactions need the host<->cube round trip; a p2p copy
+        additionally needs the cube->cube transfer leg and the ack path
+        from the destination cube back to the host.
+        """
+        table = self.route_table
+        if not table.is_reachable(txn.dest_cube, self._reach_class_for(txn)):
+            return False
+        if txn.is_p2p:
+            return table.p2p_reachable(
+                txn.dest_cube, txn.p2p_dest_cube, RouteClass.READ
+            ) and table.is_reachable(txn.p2p_dest_cube, RouteClass.READ)
+        return True
 
     # -- completion --------------------------------------------------------------
     def on_response(self, engine: Engine, packet: Packet) -> None:
@@ -342,6 +470,8 @@ class HostPort:
         self.completed += 1
         if txn.is_write:
             self.completed_writes += 1
+        elif txn.is_p2p:
+            self.completed_p2p += 1
         else:
             self.completed_reads += 1
         self._update_done()
@@ -353,6 +483,8 @@ class HostPort:
         self.directory.completed(txn.address, txn.is_write)
         if txn.is_write:
             self.outstanding_writes -= 1
+        elif txn.is_p2p:
+            self.outstanding_p2p -= 1
         elif self.config.host.inorder_retire:
             # the slot frees only when all older reads are also back
             self._completed_reads.add(txn.read_seq)
@@ -372,6 +504,8 @@ class HostPort:
         self.failed += 1
         if txn.is_write:
             self.failed_writes += 1
+        elif txn.is_p2p:
+            self.failed_p2p += 1
         else:
             self.failed_reads += 1
         self._update_done()
@@ -410,17 +544,18 @@ class HostPort:
         """
         still_pending = []
         for txn in self.pending:
-            if self.route_table.is_reachable(txn.dest_cube, self._reach_class_for(txn)):
+            if self._reachable(txn):
                 still_pending.append(txn)
             else:
                 self._fail_unissued(engine, txn)
         self.pending = still_pending
-        self._pending_reads = [t for t in still_pending if not t.is_write]
+        self._pending_reads = [
+            t for t in still_pending if not t.is_write and not t.is_p2p
+        ]
         self._pending_writes = [t for t in still_pending if t.is_write]
+        self._pending_p2p = [t for t in still_pending if t.is_p2p]
         for txn in list(self._outstanding_txns):
-            if not self.route_table.is_reachable(
-                txn.dest_cube, self._reach_class_for(txn)
-            ):
+            if not self._reachable(txn):
                 self.fail_issued(engine, txn)
         # Failed at-port transactions are skipped by _pump; freed slots
         # may admit pending work immediately.
@@ -429,7 +564,7 @@ class HostPort:
 
     @property
     def outstanding(self) -> int:
-        return self.outstanding_reads + self.outstanding_writes
+        return self.outstanding_reads + self.outstanding_writes + self.outstanding_p2p
 
     def _update_done(self) -> None:
         """Refresh the cached termination flag after a completion/error."""

@@ -16,7 +16,7 @@ from repro.config import PacketConfig
 from repro.memory.bank import Bank
 from repro.memory.timing import AccessPlan, TimingModel
 from repro.net.buffers import InputQueue
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketKind
 from repro.net.pool import PacketPool
 from repro.net.router import LOCAL, Router
 from repro.obs.attribution import segment_code
@@ -62,6 +62,9 @@ class QuadrantController:
         self._seg_queue = segment_code(f"mem.queue.{name}")
         self._seg_array = segment_code(f"mem.array.{name}")
         self._seg_stall = segment_code(f"resp.stall.{name}")
+        # P2P data legs stall in the mem phase (source cube waiting to
+        # forward the copied line toward the destination cube).
+        self._seg_stall_xfer = segment_code(f"mem.xfer.stall.{name}")
 
         self._queue: List[Packet] = []
         self._reserved = 0
@@ -116,7 +119,7 @@ class QuadrantController:
             # strict in-order: the head must issue before anything else
             while self._queue:
                 packet = self._queue[0]
-                location = packet.transaction.location
+                location = packet.location
                 bank = self.banks[location.bank]
                 if not bank.ready_for(now, location.row):
                     break
@@ -128,7 +131,7 @@ class QuadrantController:
             while issued:
                 issued = False
                 for position, packet in enumerate(self._queue):
-                    location = packet.transaction.location
+                    location = packet.location
                     bank = self.banks[location.bank]
                     if bank.ready_for(now, location.row):
                         del self._queue[position]
@@ -145,7 +148,10 @@ class QuadrantController:
 
     def _issue(self, engine: Engine, packet: Packet, bank: Bank, row: int) -> None:
         txn = packet.transaction
-        is_write = txn.is_write
+        # A P2P_XFER leg writes the copied line at the destination cube;
+        # every other leg follows the transaction's own kind (a P2P_REQ
+        # is a read of the source address, txn.is_write is False).
+        is_write = txn.is_write or packet.is_xfer
         plan = self.timing.plan(bank, engine.now, row, is_write)
         self.timing.apply(bank, plan, row)
         if txn.segments is not None:
@@ -164,16 +170,38 @@ class QuadrantController:
 
     def _complete(self, engine: Engine, packet: Packet, plan: AccessPlan) -> None:
         txn = packet.transaction
-        txn.mem_depart_ps = engine.now
-        txn.row_hit = plan.row_hit
-        txn.dest_tech = self.timing.tech.name
-        if txn.is_write:
-            self.writes += 1
+        kind = packet.kind
+        if kind >= PacketKind.P2P_REQ:
+            # p2p relay leg.  The source-side read forwards the copied
+            # line toward the destination cube; the destination-side
+            # write acknowledges the host.  The transaction only leaves
+            # "memory" when the destination write is durable.
+            if packet.is_xfer:
+                txn.mem_depart_ps = engine.now
+                txn.row_hit = plan.row_hit
+                txn.dest_tech = self.timing.tech.name
+                self.writes += 1
+                response = self.pool.p2p_ack_packet(
+                    self.packet_config, packet, engine.now
+                )
+            else:  # P2P_REQ: the source-side read
+                self.reads += 1
+                response = self.pool.p2p_xfer_packet(
+                    self.packet_config, packet, engine.now
+                )
         else:
-            self.reads += 1
+            txn.mem_depart_ps = engine.now
+            txn.row_hit = plan.row_hit
+            txn.dest_tech = self.timing.tech.name
+            if txn.is_write:
+                self.writes += 1
+            else:
+                self.reads += 1
+            response = self.pool.response_packet(
+                self.packet_config, packet, engine.now
+            )
         if plan.row_hit:
             self.row_hits += 1
-        response = self.pool.response_packet(self.packet_config, packet, engine.now)
         response.source_tech = self.timing.tech.name
         if txn.segments is not None:
             response.obs_mark = engine.now  # inject-stall clock starts here
@@ -181,7 +209,7 @@ class QuadrantController:
         # it before the injection cascade below can allocate.
         self.pool.release(packet)
         # route_response returns False only when a RAS permanent failure
-        # cut this cube off from the host — the response is then lost
+        # cut this cube off from its target — the packet is then lost
         # (the host errors the transaction on its side).
         if self.route_response(response) is not False:
             self._pending_responses.append(response)
@@ -198,7 +226,10 @@ class QuadrantController:
             if txn.segments is not None:
                 mark = response.obs_mark
                 if mark is not None and engine.now > mark:
-                    txn.segments.append((self._seg_stall, mark, engine.now))
+                    seg = (
+                        self._seg_stall_xfer if response.is_xfer else self._seg_stall
+                    )
+                    txn.segments.append((seg, mark, engine.now))
             self.inject_queue.push(response, engine.now)
             self.router.packet_arrived(engine, self.inject_queue)
 
@@ -230,7 +261,7 @@ class QuadrantController:
         earliest = None
         scan = self._queue[:1] if self.scheduling == "fcfs" else self._queue
         for packet in scan:
-            location = packet.transaction.location
+            location = packet.location
             bank = self.banks[location.bank]
             start = bank.earliest_start(now, location.row)
             if start > now and (earliest is None or start < earliest):

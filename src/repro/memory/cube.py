@@ -79,7 +79,9 @@ class MemoryCube:
             controller.start_refresh(engine)
 
     def _quadrant_of(self, packet: Packet) -> int:
-        return packet.transaction.location.quadrant
+        # packet.location mirrors transaction.location except on a
+        # P2P_XFER leg, which targets this (destination) cube's placement
+        return packet.location.quadrant
 
     def _accept(self, packet: Packet) -> bool:
         return self.controllers[self._quadrant_of(packet)].can_accept()
@@ -90,6 +92,10 @@ class MemoryCube:
         if txn.mem_arrive_ps is None:
             txn.mem_arrive_ps = engine.now
             txn.request_hops = packet.hops_traversed
+        elif packet.is_xfer:
+            # second arrival of a p2p relay: the copied line reached the
+            # destination cube
+            txn.xfer_hops = packet.hops_traversed
         controller = self.controllers[quadrant]
         controller.reserve()
         arrival_port = max(input_index - LOCAL_INPUTS, 0) % self.config.num_quadrants

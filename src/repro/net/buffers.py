@@ -37,6 +37,7 @@ class InputQueue:
         "tracer",
         "_seg_req",
         "_seg_resp",
+        "_seg_xfer",
     )
 
     def __init__(self, name: str, capacity: Optional[int]) -> None:
@@ -46,6 +47,9 @@ class InputQueue:
         # the pop path appends integer codes, not concatenated strings.
         self._seg_req = segment_code("req.queue." + name)
         self._seg_resp = segment_code("resp.queue." + name)
+        # P2P data legs live in the mem phase: the copy is "in memory"
+        # from the source-cube read until the destination-cube write.
+        self._seg_xfer = segment_code("mem.xfer.queue." + name)
         self._items: Deque[Packet] = deque()
         self._entry_times: Deque[Optional[int]] = deque()
         # Cached output key (-1 = local, else next node id) of the head
@@ -124,10 +128,13 @@ class InputQueue:
             self.popped += 1
             txn = packet.transaction
             if txn is not None and txn.segments is not None and now_ps > entered:
-                txn.segments.append(
-                    (self._seg_req if packet.is_req else self._seg_resp,
-                     entered, now_ps)
-                )
+                if packet.is_xfer:
+                    code = self._seg_xfer
+                elif packet.is_req:
+                    code = self._seg_req
+                else:
+                    code = self._seg_resp
+                txn.segments.append((code, entered, now_ps))
         if self.tracer is not None:
             self.tracer.queue_depth(self.name, now_ps, len(items))
         return packet

@@ -83,8 +83,15 @@ class SharedChannel:
     def _became_idle(self, engine: Engine) -> None:
         self._idle_armed = False
         if not self.is_free(engine.now):
-            # someone re-occupied the channel at the same instant; the
-            # occupy re-armed the idle event if anyone is still waiting
+            # Someone re-occupied the channel at this exact instant and
+            # ran *before* this event, so its occupy saw the stale
+            # armed flag and skipped scheduling.  Re-arm here or the
+            # waiters sleep forever (the lost-wakeup race: a waiter
+            # blocked on the busy channel is only ever woken by this
+            # event or a credit return).
+            if self._waiting:
+                self._idle_armed = True
+                engine.schedule_at(self._busy_until, self._became_idle)
             return
         self.grant(engine)
 
@@ -130,8 +137,10 @@ class Link:
         "_arrival_extra_ps",
         "_seg_wire_req",
         "_seg_wire_resp",
+        "_seg_wire_xfer",
         "_seg_retry_req",
         "_seg_retry_resp",
+        "_seg_retry_xfer",
         "on_idle",
         "on_delivery",
         "sender_has_response_head",
@@ -171,6 +180,10 @@ class Link:
         self._seg_wire_resp = segment_code("resp.wire." + name)
         self._seg_retry_req = segment_code("req.retry." + name)
         self._seg_retry_resp = segment_code("resp.retry." + name)
+        # P2P data legs are attributed to the mem phase (the copy is
+        # "in memory" between the source read and the destination write).
+        self._seg_wire_xfer = segment_code("mem.xfer.wire." + name)
+        self._seg_retry_xfer = segment_code("mem.xfer.retry." + name)
         # Callbacks wired by the owning routers:
         # ``on_idle(engine)``     -> upstream router retries this output.
         # ``on_delivery(engine, queue)`` -> downstream router reacts to
@@ -281,16 +294,16 @@ class Link:
         arrival_delay = occupy_ps + self._arrival_extra_ps
         txn = packet.transaction
         if txn is not None and txn.segments is not None:
+            if packet.is_xfer:
+                seg_retry, seg_wire = self._seg_retry_xfer, self._seg_wire_xfer
+            elif packet.is_req:
+                seg_retry, seg_wire = self._seg_retry_req, self._seg_wire_req
+            else:
+                seg_retry, seg_wire = self._seg_retry_resp, self._seg_wire_resp
             if retry_ps:
                 # failed attempts first, then the good serialization
-                txn.segments.append(
-                    (self._seg_retry_req if packet.is_req else self._seg_retry_resp,
-                     now, now + retry_ps)
-                )
-            txn.segments.append(
-                (self._seg_wire_req if packet.is_req else self._seg_wire_resp,
-                 now + retry_ps, now + arrival_delay)
-            )
+                txn.segments.append((seg_retry, now, now + retry_ps))
+            txn.segments.append((seg_wire, now + retry_ps, now + arrival_delay))
         if self.tracer is not None:
             self.tracer.link_send(self.name, now, ser, arrival_delay, packet)
             if retry_ps:

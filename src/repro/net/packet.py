@@ -3,6 +3,14 @@
 Four packet kinds exist (Section 3.2): read requests and write
 acknowledgments are small *control* packets; write requests and read
 responses carry a cache line and are 5x larger *data* packets.
+
+Peer-to-peer copies (NOM-style cube-to-cube DMA) add three more kinds
+forming a ``req/xfer/ack`` relay: ``P2P_REQ`` (host -> source cube,
+control), ``P2P_XFER`` (source cube -> destination cube, data) and
+``P2P_ACK`` (destination cube -> host, control).  The xfer and ack
+legs travel in the response class so they enjoy the same channel
+priority as read data, keeping the relay deadlock-free with the
+existing request/response progress argument.
 """
 
 from __future__ import annotations
@@ -19,10 +27,18 @@ class PacketKind(enum.IntEnum):
     WRITE_REQ = 1
     READ_RESP = 2
     WRITE_ACK = 3
+    # Peer-to-peer copy relay (cube -> cube DMA).
+    P2P_REQ = 4  # host -> source cube: "read and forward" command
+    P2P_XFER = 5  # source cube -> destination cube: the copied line
+    P2P_ACK = 6  # destination cube -> host: copy durable
 
     @property
     def is_request(self) -> bool:
-        return self in (PacketKind.READ_REQ, PacketKind.WRITE_REQ)
+        return self in (
+            PacketKind.READ_REQ,
+            PacketKind.WRITE_REQ,
+            PacketKind.P2P_REQ,
+        )
 
     @property
     def is_response(self) -> bool:
@@ -30,12 +46,20 @@ class PacketKind(enum.IntEnum):
 
     @property
     def carries_data(self) -> bool:
-        """Data packets are write requests and read responses."""
-        return self in (PacketKind.WRITE_REQ, PacketKind.READ_RESP)
+        """Data packets are write requests, read responses and p2p lines."""
+        return self in (
+            PacketKind.WRITE_REQ,
+            PacketKind.READ_RESP,
+            PacketKind.P2P_XFER,
+        )
 
     @property
     def is_write_class(self) -> bool:
-        """Write-class traffic (used for skip-list differentiated routing)."""
+        """Write-class traffic (used for skip-list differentiated routing).
+
+        All p2p legs route over the read class: the copy's latency is
+        dominated by its data leg, which behaves like read data.
+        """
         return self in (PacketKind.WRITE_REQ, PacketKind.WRITE_ACK)
 
     def response_kind(self) -> "PacketKind":
@@ -43,6 +67,10 @@ class PacketKind(enum.IntEnum):
             return PacketKind.READ_RESP
         if self is PacketKind.WRITE_REQ:
             return PacketKind.WRITE_ACK
+        if self is PacketKind.P2P_REQ:
+            return PacketKind.P2P_XFER
+        if self is PacketKind.P2P_XFER:
+            return PacketKind.P2P_ACK
         raise ValueError(f"{self!r} is not a request kind")
 
 
@@ -62,6 +90,8 @@ class Packet:
         "kind",
         "is_req",
         "is_resp",
+        "is_xfer",
+        "location",
         "address",
         "src",
         "dest",
@@ -95,8 +125,14 @@ class Packet:
         # The request/response class is consulted on every arbitration
         # and every segment append; precomputed plain bools keep the
         # enum-property lookups off the hot path.
-        self.is_req = kind <= PacketKind.WRITE_REQ
+        self.is_req = kind <= PacketKind.WRITE_REQ or kind is PacketKind.P2P_REQ
         self.is_resp = not self.is_req
+        # P2P data legs carry their own attribution labels (mem phase).
+        self.is_xfer = kind is PacketKind.P2P_XFER
+        # Memory placement this packet targets.  Equal to the owning
+        # transaction's decoded location except for P2P_XFER packets,
+        # which address the *destination* cube's mirrored location.
+        self.location = transaction.location if transaction is not None else None
         self.address = address
         self.src = src
         self.dest = dest
@@ -162,9 +198,13 @@ class Transaction:
         "tid",
         "address",
         "is_write",
+        "is_p2p",
         "port_id",
         "dest_cube",
         "location",
+        "p2p_dest_cube",
+        "p2p_dest_location",
+        "xfer_hops",
         "issue_ps",
         "start_ps",
         "inject_ps",
@@ -182,13 +222,27 @@ class Transaction:
 
     _ids = itertools.count()
 
-    def __init__(self, address: int, is_write: bool, port_id: int, issue_ps: int):
+    def __init__(
+        self,
+        address: int,
+        is_write: bool,
+        port_id: int,
+        issue_ps: int,
+        is_p2p: bool = False,
+    ):
         self.tid = next(Transaction._ids)
         self.address = address
         self.is_write = is_write
+        # Peer-to-peer copy: read ``address`` at its home cube, write
+        # the line to ``p2p_dest_cube``.  ``is_write`` stays False — the
+        # directory treats the copy as a read of the source address.
+        self.is_p2p = is_p2p
         self.port_id = port_id
         self.dest_cube: Optional[int] = None
         self.location = None  # decoded (cube, quadrant, bank, row)
+        self.p2p_dest_cube: Optional[int] = None
+        self.p2p_dest_location = None  # mirrored placement at the dest cube
+        self.xfer_hops = 0  # hops taken by the P2P_XFER leg
         self.issue_ps = issue_ps
         self.start_ps: Optional[int] = None  # window grant (enters mem system)
         self.inject_ps: Optional[int] = None

@@ -118,6 +118,57 @@ class PacketPool:
             request.transaction,
         )
 
+    # -- peer-to-peer relay legs -------------------------------------------
+    def p2p_request_packet(
+        self, config: PacketConfig, txn: Transaction, now_ps: int
+    ) -> Packet:
+        """The host's "read and forward" command to the source cube."""
+        return self.acquire(
+            PacketKind.P2P_REQ,
+            txn.address,
+            -1,  # host
+            txn.dest_cube if txn.dest_cube is not None else -1,
+            config.control_bits,
+            now_ps,
+            txn,
+        )
+
+    def p2p_xfer_packet(
+        self, config: PacketConfig, request: Packet, now_ps: int
+    ) -> Packet:
+        """The copied line, source cube -> destination cube.
+
+        Unlike :meth:`response_packet` the destination is the
+        transaction's p2p target cube, not the requester, and the
+        packet addresses the *mirrored* location at that cube.
+        """
+        txn = request.transaction
+        packet = self.acquire(
+            PacketKind.P2P_XFER,
+            txn.address,
+            request.dest,  # the source cube the line was read from
+            txn.p2p_dest_cube,
+            config.data_bits,
+            now_ps,
+            txn,
+        )
+        packet.location = txn.p2p_dest_location
+        return packet
+
+    def p2p_ack_packet(
+        self, config: PacketConfig, request: Packet, now_ps: int
+    ) -> Packet:
+        """Completion notice, destination cube -> host."""
+        return self.acquire(
+            PacketKind.P2P_ACK,
+            request.address,
+            request.dest,  # the destination cube the line landed in
+            -1,  # host
+            config.control_bits,
+            now_ps,
+            request.transaction,
+        )
+
     # -- release -----------------------------------------------------------
     def release(self, packet: Packet) -> None:
         """Return a packet whose last consumer is provably done with it."""

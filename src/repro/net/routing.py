@@ -99,6 +99,11 @@ class RouteTable:
         self.cube_ids = tuple(sorted(cube_ids))
         self._to_cube: Dict[RouteClass, Dict[int, Path]] = {}
         self._to_host: Dict[RouteClass, Dict[int, Path]] = {}
+        # Cube -> cube paths (peer-to-peer copies) are resolved lazily
+        # through the shared BFS memo, so keep the adjacency around.
+        self._adjacency: Dict[RouteClass, Mapping[int, Sequence[int]]] = dict(
+            adjacency_by_class
+        )
         for cls, adjacency in adjacency_by_class.items():
             forward = cached_bfs_paths(adjacency, host_id)
             missing = [c for c in self.cube_ids if c not in forward]
@@ -135,6 +140,28 @@ class RouteTable:
             return self._to_host[cls][cube_id]
         except KeyError:
             raise RoutingError(f"no route from cube {cube_id}") from None
+
+    def route_between(self, src: int, dst: int, cls: RouteClass) -> Path:
+        """Shortest path between two cubes for a traffic class.
+
+        Used by the peer-to-peer relay: the path may transit the host
+        router as a plain switch, but never terminates there.  Served
+        from the process-wide BFS memo, so repeated copies between the
+        same pair cost a dictionary lookup.
+        """
+        cls = self._class_or_fallback(cls)
+        paths = cached_bfs_paths(self._adjacency[cls], src)
+        path = paths.get(dst)
+        if path is None:
+            raise RoutingError(f"no route from cube {src} to cube {dst}")
+        return path
+
+    def p2p_reachable(
+        self, src: int, dst: int, cls: RouteClass = RouteClass.READ
+    ) -> bool:
+        """True if a cube->cube path exists for this class."""
+        cls = self._class_or_fallback(cls)
+        return dst in cached_bfs_paths(self._adjacency[cls], src)
 
     def is_reachable(self, cube_id: int, cls: RouteClass = RouteClass.READ) -> bool:
         """True if the table has a path to ``cube_id`` for this class."""

@@ -20,6 +20,10 @@ label                         meaning
 ``mem.xbar.<cube>``           wrong-quadrant crossing penalty
 ``mem.queue.<controller>``    controller queue wait
 ``mem.array.<controller>``    bank access (incl. bank-ready wait)
+``mem.xfer.stall.<ctrl>``     p2p transfer waits for inject space
+``mem.xfer.queue.<queue>``    router input-queue wait (p2p data leg)
+``mem.xfer.retry.<link>``     CRC-failed p2p traversals replayed (RAS)
+``mem.xfer.wire.<link>``      link traversal (p2p data leg)
 ``resp.stall.<controller>``   response waits for controller inject space
 ``resp.queue.<queue>``        router input-queue wait (response path)
 ``resp.retry.<link>``         CRC-failed traversals replayed (RAS)
@@ -31,7 +35,11 @@ The segments of one transaction tile its end-to-end latency exactly:
 ``req.*`` sums to the Fig 5 *to-memory* interval, ``mem.*`` to
 *in-memory* and ``resp.*`` to *from-memory*, which is what lets the
 paper's three-way split be recomputed as a view over the N-way one
-(:func:`three_way_ns`).  Zero-length waits are never recorded, so any
+(:func:`three_way_ns`).  Peer-to-peer copies reuse the same tiling: the
+``P2P_REQ`` leg is ``req.*``, everything from the source-cube read
+through the cube-to-cube ``P2P_XFER`` to the destination write is
+``mem.*`` (the data-leg hops carry the ``mem.xfer.*`` labels above),
+and the ``P2P_ACK`` leg is ``resp.*``.  Zero-length waits are never recorded, so any
 per-transaction residual (``UNATTRIBUTED``) indicates an instrumentation
 gap, not rounding.
 

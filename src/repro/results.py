@@ -118,18 +118,25 @@ class TransactionCollector:
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
+        self.p2p = 0
         self.all = LatencyBreakdown()
         self.read_breakdown = LatencyBreakdown()
         self.write_breakdown = LatencyBreakdown()
+        self.p2p_breakdown = LatencyBreakdown()
         self.request_hops = RunningStat()
         self.response_hops = RunningStat()
+        self.xfer_hops = RunningStat()
         self.row_hits = 0
         self.nvm_accesses = 0
         self.last_complete_ps = 0
         self.segments: Dict[str, Histogram] = {}
 
     def add(self, txn: Transaction) -> None:
-        if txn.is_write:
+        if txn.is_p2p:
+            self.p2p += 1
+            self.p2p_breakdown.add(txn)
+            self.xfer_hops.add(txn.xfer_hops)
+        elif txn.is_write:
             self.writes += 1
             self.write_breakdown.add(txn)
         else:
@@ -167,13 +174,16 @@ class TransactionCollector:
         """Fold another collector into this one (multi-port composition)."""
         self.reads += other.reads
         self.writes += other.writes
+        self.p2p += other.p2p
         self.row_hits += other.row_hits
         self.nvm_accesses += other.nvm_accesses
         self.all.merge(other.all)
         self.read_breakdown.merge(other.read_breakdown)
         self.write_breakdown.merge(other.write_breakdown)
+        self.p2p_breakdown.merge(other.p2p_breakdown)
         self.request_hops.merge(other.request_hops)
         self.response_hops.merge(other.response_hops)
+        self.xfer_hops.merge(other.xfer_hops)
         if other.last_complete_ps > self.last_complete_ps:
             self.last_complete_ps = other.last_complete_ps
         for label, hist in other.segments.items():
@@ -186,7 +196,7 @@ class TransactionCollector:
 
     @property
     def count(self) -> int:
-        return self.reads + self.writes
+        return self.reads + self.writes + self.p2p
 
 
 @dataclass

@@ -27,7 +27,9 @@ from repro.workloads import WorkloadSpec
 #: behaviour changes in a way that invalidates previously cached results
 #: (the config/workload schema itself is already part of the digest).
 #: v2: RAS fault layer (FaultPlan in SystemConfig, availability fields).
-JOB_DIGEST_VERSION = "repro-job-v2"
+#: v3: peer-to-peer copies (p2p_fraction / p2p_pattern knobs, p2p
+#: packet kinds and collector aggregates).
+JOB_DIGEST_VERSION = "repro-job-v3"
 
 
 def canonical_tree(value: Any) -> Any:

@@ -66,22 +66,32 @@ POOL_RESPAWN_BACKOFF_S = 0.25
 _warned_bad_jobs_env = False
 
 
+def _warn_jobs_env_once(env: str, problem: str) -> None:
+    global _warned_bad_jobs_env
+    if not _warned_bad_jobs_env:
+        _warned_bad_jobs_env = True
+        warnings.warn(
+            f"ignoring {problem} {JOBS_ENV}={env!r} "
+            "(expected a positive integer); running serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def default_jobs() -> int:
     """Worker count when none is given: ``$REPRO_JOBS``, else 1 (serial)."""
     env = os.environ.get(JOBS_ENV)
     if env:
         try:
-            return max(1, int(env))
+            jobs = int(env)
         except ValueError:
-            global _warned_bad_jobs_env
-            if not _warned_bad_jobs_env:
-                _warned_bad_jobs_env = True
-                warnings.warn(
-                    f"ignoring unparseable {JOBS_ENV}={env!r} "
-                    "(expected an integer); running serially",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+            _warn_jobs_env_once(env, "unparseable")
+        else:
+            if jobs >= 1:
+                return jobs
+            # REPRO_JOBS=0 or negative used to clamp to serial silently;
+            # diagnose it the same way an unparseable value is.
+            _warn_jobs_env_once(env, "non-positive")
     return 1
 
 

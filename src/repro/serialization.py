@@ -31,7 +31,9 @@ from repro.sim.stats import Histogram, RunningStat
 #: attribution histograms on the collector (the repro.obs layer).
 #: v3: RAS availability accounting (requests_failed / requests_served)
 #: and fault-injection counters in ``extra`` (the repro.ras layer).
-RESULT_STATE_VERSION = 3
+#: v4: peer-to-peer copy accounting (p2p count, p2p_breakdown,
+#: xfer_hops) on the collector.
+RESULT_STATE_VERSION = 4
 
 
 def result_to_dict(result: SimResult) -> Dict[str, object]:
@@ -44,6 +46,7 @@ def result_to_dict(result: SimResult) -> Dict[str, object]:
         "transactions": result.transactions,
         "reads": result.collector.reads,
         "writes": result.collector.writes,
+        "p2p": result.collector.p2p,
         "latency": {
             "to_memory_ns": breakdown.to_memory_ns,
             "in_memory_ns": breakdown.in_memory_ns,
@@ -54,6 +57,7 @@ def result_to_dict(result: SimResult) -> Dict[str, object]:
         "hops": {
             "request_mean": result.collector.request_hops.mean,
             "response_mean": result.collector.response_hops.mean,
+            "xfer_mean": result.collector.xfer_hops.mean,
         },
         "row_hit_rate": result.row_hit_rate,
         "nvm_access_fraction": (
@@ -158,11 +162,14 @@ def _collector_to_state(collector: TransactionCollector) -> Dict[str, object]:
     return {
         "reads": collector.reads,
         "writes": collector.writes,
+        "p2p": collector.p2p,
         "all": _breakdown_to_state(collector.all),
         "read_breakdown": _breakdown_to_state(collector.read_breakdown),
         "write_breakdown": _breakdown_to_state(collector.write_breakdown),
+        "p2p_breakdown": _breakdown_to_state(collector.p2p_breakdown),
         "request_hops": _stat_to_state(collector.request_hops),
         "response_hops": _stat_to_state(collector.response_hops),
+        "xfer_hops": _stat_to_state(collector.xfer_hops),
         "row_hits": collector.row_hits,
         "nvm_accesses": collector.nvm_accesses,
         "last_complete_ps": collector.last_complete_ps,
@@ -177,11 +184,14 @@ def _collector_from_state(state: Dict[str, object]) -> TransactionCollector:
     collector = TransactionCollector()
     collector.reads = state["reads"]
     collector.writes = state["writes"]
+    collector.p2p = state["p2p"]
     collector.all = _breakdown_from_state(state["all"])
     collector.read_breakdown = _breakdown_from_state(state["read_breakdown"])
     collector.write_breakdown = _breakdown_from_state(state["write_breakdown"])
+    collector.p2p_breakdown = _breakdown_from_state(state["p2p_breakdown"])
     collector.request_hops = _stat_from_state(state["request_hops"])
     collector.response_hops = _stat_from_state(state["response_hops"])
+    collector.xfer_hops = _stat_from_state(state["xfer_hops"])
     collector.row_hits = state["row_hits"]
     collector.nvm_accesses = state["nvm_accesses"]
     collector.last_complete_ps = state["last_complete_ps"]

@@ -270,6 +270,7 @@ class MemoryNetworkSystem:
             on_transaction_done=self._transaction_done,
             window=workload.mlp,
             pool=self.packet_pool,
+            cube_techs=[self.topology.tech_of(c) for c in self.cube_node_ids],
         )
         self.host_node.attach_port(self.port.on_response)
 
@@ -525,10 +526,25 @@ class MemoryNetworkSystem:
     # runtime callbacks
     # ------------------------------------------------------------------
     def _route_response(self, response: Packet) -> bool:
+        kind = response.kind
+        if kind is PacketKind.P2P_XFER:
+            # The copied line travels cube -> cube over the read class;
+            # the path may transit the host router as a plain switch.
+            try:
+                response.route = list(
+                    self.route_table.route_between(
+                        response.src, response.dest, RouteClass.READ
+                    )
+                )
+            except RoutingError:
+                if self._ras is None:
+                    raise  # without a fault plan this is a wiring bug
+                self._ras.stats.count("ras.responses_unroutable")
+                return False
+            response.hop_index = 0
+            return True
         cls = (
-            RouteClass.WRITE
-            if response.kind == PacketKind.WRITE_ACK
-            else RouteClass.READ
+            RouteClass.WRITE if kind == PacketKind.WRITE_ACK else RouteClass.READ
         )
         try:
             response.route = list(self.route_table.route_to_host(response.src, cls))
@@ -604,6 +620,10 @@ class MemoryNetworkSystem:
             external_bits, interposer_bits, accesses
         )
         extra: Dict[str, float] = {}
+        if self.port.generated_p2p:
+            extra["p2p.generated"] = float(self.port.generated_p2p)
+            extra["p2p.completed"] = float(self.port.completed_p2p)
+            extra["p2p.failed"] = float(self.port.failed_p2p)
         if self._ras is not None:
             extra.update(self._ras.counters())
             extra["ras.replays"] = float(

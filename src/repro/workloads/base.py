@@ -20,6 +20,10 @@ class Request:
     address: int  # port-local byte address
     is_write: bool
     gap_ps: int  # delay until the *next* request is generated
+    # Peer-to-peer copy: read ``address`` at its home cube and write the
+    # line to another cube (NOM-style DMA).  ``is_write`` is False for
+    # these — the directory treats the copy as a read of the source.
+    is_p2p: bool = False
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,10 @@ class WorkloadSpec:
     # by idle gaps sized to preserve the mean arrival rate.  Burstiness
     # drives the per-hop queuing the paper's latency breakdowns show.
     burst_size: float = 1.0
+    # Fraction of generated requests that are peer-to-peer copies
+    # (cube -> cube DMA) instead of host round trips.  Zero keeps the
+    # generator's RNG stream bit-identical to pre-p2p behaviour.
+    p2p_fraction: float = 0.0
     description: str = ""
 
     def validate(self) -> None:
@@ -69,6 +77,8 @@ class WorkloadSpec:
             raise WorkloadError(f"{self.name}: mlp must be >= 1")
         if self.burst_size < 1.0:
             raise WorkloadError(f"{self.name}: burst_size must be >= 1")
+        if not 0.0 <= self.p2p_fraction <= 1.0:
+            raise WorkloadError(f"{self.name}: p2p_fraction out of range")
 
     def scaled_gap_ns(self, num_ports: int) -> float:
         """Per-port gap preserving total system load at ``num_ports``."""

@@ -87,6 +87,17 @@ class SyntheticWorkload:
                 address=line * spec.line_bytes, is_write=True, gap_ps=self._gap()
             )
         line = self._next_line()
+        # The p2p draw happens only when the knob is set, so the RNG
+        # stream — and therefore every digest — of a p2p-free workload
+        # is bit-identical to pre-p2p behaviour.
+        if spec.p2p_fraction and self.rng.random() < spec.p2p_fraction:
+            self.generated += 1
+            return Request(
+                address=line * spec.line_bytes,
+                is_write=False,
+                gap_ps=self._gap(),
+                is_p2p=True,
+            )
         is_write = self.rng.random() >= spec.read_fraction
         if not is_write and spec.rmw_fraction and self.rng.random() < spec.rmw_fraction:
             self._pending_write_line = line

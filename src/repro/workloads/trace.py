@@ -3,7 +3,10 @@
 Traces make simulations exactly repeatable across configurations (the
 same address stream hits every topology) and let users bring their own
 workloads.  The on-disk format is a plain text file, one request per
-line: ``<hex address> <R|W> <gap_ps>``.
+line: ``<hex address> <R|W|P> <gap_ps>`` (``P`` marks a peer-to-peer
+copy).  ``load`` accepts exactly what ``save`` emits — bare lowercase
+hex addresses and plain decimal gaps — so a save/load/save round trip
+is byte-identical.
 """
 
 from __future__ import annotations
@@ -13,6 +16,12 @@ from typing import Iterable, Iterator, List, Union
 
 from repro.errors import WorkloadError
 from repro.workloads.base import Request
+
+# Exactly the characters ``save`` can emit, so load rejects every form
+# ``int`` would otherwise tolerate ("0x" prefixes, signs, underscores,
+# uppercase hex, non-ASCII digits).
+_HEX_DIGITS = frozenset("0123456789abcdef")
+_DEC_DIGITS = frozenset("0123456789")
 
 
 class Trace:
@@ -47,7 +56,8 @@ class Trace:
     # -- persistence ----------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
         lines = [
-            f"{request.address:x} {'W' if request.is_write else 'R'} "
+            f"{request.address:x} "
+            f"{'P' if request.is_p2p else 'W' if request.is_write else 'R'} "
             f"{request.gap_ps}"
             for request in self.requests
         ]
@@ -63,18 +73,31 @@ class Trace:
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
-            if len(parts) != 3 or parts[1] not in ("R", "W"):
+            if len(parts) != 3 or parts[1] not in ("R", "W", "P"):
                 raise WorkloadError(f"{path}:{line_number}: malformed trace line")
-            try:
-                address = int(parts[0], 16)
-                gap = int(parts[2])
-            except ValueError:
+            # ``int(x, 16)`` is laxer than the format: it accepts "0x"
+            # prefixes, sign characters, and underscores, none of which
+            # ``save`` ever writes.  Validate the exact token charset so
+            # a loaded trace re-saves byte-identically.
+            address_token, gap_token = parts[0], parts[2]
+            if not _HEX_DIGITS.issuperset(address_token):
                 raise WorkloadError(
-                    f"{path}:{line_number}: bad address or gap"
-                ) from None
-            if address < 0 or gap < 0:
-                raise WorkloadError(f"{path}:{line_number}: negative value")
-            trace.append(Request(address=address, is_write=parts[1] == "W", gap_ps=gap))
+                    f"{path}:{line_number}: bad address {address_token!r} "
+                    "(expected bare lowercase hex digits)"
+                )
+            if not _DEC_DIGITS.issuperset(gap_token):
+                raise WorkloadError(
+                    f"{path}:{line_number}: bad gap {gap_token!r} "
+                    "(expected a non-negative decimal integer)"
+                )
+            trace.append(
+                Request(
+                    address=int(address_token, 16),
+                    is_write=parts[1] == "W",
+                    gap_ps=int(gap_token),
+                    is_p2p=parts[1] == "P",
+                )
+            )
         return trace
 
     # -- statistics ---------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""Tests for the shared ``REPRO_*`` environment-variable parsing."""
+
+import warnings
+
+import pytest
+
+import repro.runner.pool as pool_mod
+from repro import check
+from repro.env import env_flag, reset_warnings
+from repro.runner.pool import default_jobs
+
+VAR = "REPRO_TEST_FLAG"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", ["1", "true", "yes", "on", "TRUE", " On "])
+    def test_true_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(VAR, raw)
+        assert env_flag(VAR) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "no", "off", "FALSE", " Off "])
+    def test_false_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(VAR, raw)
+        assert env_flag(VAR, default=True) is False
+
+    @pytest.mark.parametrize("default", [False, True])
+    def test_unset_and_empty_yield_default(self, monkeypatch, default):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_flag(VAR, default=default) is default
+        monkeypatch.setenv(VAR, "   ")
+        assert env_flag(VAR, default=default) is default
+
+    def test_unrecognized_warns_once_and_yields_default(self, monkeypatch):
+        monkeypatch.setenv(VAR, "maybe")
+        with pytest.warns(RuntimeWarning, match="maybe"):
+            assert env_flag(VAR, default=True) is True
+        # Second read of the same variable stays quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_flag(VAR) is False
+
+    def test_warn_once_is_per_variable(self, monkeypatch):
+        monkeypatch.setenv(VAR, "bogus")
+        monkeypatch.setenv(VAR + "_2", "bogus")
+        with pytest.warns(RuntimeWarning):
+            env_flag(VAR)
+        with pytest.warns(RuntimeWarning):
+            env_flag(VAR + "_2")
+
+
+class TestAuditsEnabledFlag:
+    """REPRO_AUDIT=false used to *enable* audits (any non-"0" string did)."""
+
+    @pytest.mark.parametrize("raw", ["false", "off", "no", "0"])
+    def test_false_spellings_disable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_AUDIT", raw)
+        assert check.audits_enabled() is False
+
+    @pytest.mark.parametrize("raw", ["1", "yes", "on"])
+    def test_true_spellings_enable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_AUDIT", raw)
+        assert check.audits_enabled() is True
+
+    def test_ambient_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "false")
+        with check.audits():
+            assert check.audits_enabled() is True
+        assert check.audits_enabled() is False
+
+
+class TestDefaultJobs:
+    @pytest.fixture(autouse=True)
+    def _fresh_jobs_warning(self):
+        pool_mod._warned_bad_jobs_env = False
+        yield
+        pool_mod._warned_bad_jobs_env = False
+
+    def test_valid_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+
+    def test_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    @pytest.mark.parametrize("raw", ["0", "-3"])
+    def test_non_positive_warns_and_runs_serial(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert default_jobs() == 1
+
+    def test_unparseable_warns_and_runs_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            assert default_jobs() == 1
+
+    def test_warns_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.warns(RuntimeWarning):
+            default_jobs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_jobs() == 1

@@ -36,20 +36,20 @@ def _load(name: str) -> dict:
 
 class TestMatrixGoldens:
     @pytest.mark.parametrize(
-        "name,config", _CASES, ids=[name for name, _ in _CASES]
+        "name,config,workload", _CASES, ids=[name for name, _, _ in _CASES]
     )
-    def test_case_reproduces_golden(self, name, config):
+    def test_case_reproduces_golden(self, name, config, workload):
         recorded = _load("matrix")
         assert name in recorded, (
             f"matrix case {name!r} has no golden; run "
             "`python tools/regen_goldens.py --only matrix`"
         )
-        entry = run_matrix_case(config, audit=True)
+        entry = run_matrix_case(config, audit=True, workload=workload)
         report = diff_goldens({name: recorded[name]}, {name: entry})
         assert not report, "\n".join(report)
 
     def test_no_orphan_goldens(self):
-        live = {name for name, _ in _CASES}
+        live = {name for name, _, _ in _CASES}
         assert set(_load("matrix")) == live
 
 

@@ -10,8 +10,15 @@ from conftest import fast_workload
 
 
 def sample_trace(n=10):
+    # Cycle read / write / p2p copy (p2p copies are never writes: the
+    # directory treats the copy as a read of the source line).
     return Trace(
-        Request(address=i * 64, is_write=i % 3 == 0, gap_ps=i * 10)
+        Request(
+            address=i * 64,
+            is_write=i % 3 == 1,
+            gap_ps=i * 10,
+            is_p2p=i % 3 == 2,
+        )
         for i in range(n)
     )
 
@@ -53,6 +60,48 @@ class TestTrace:
         path.write_text(line + "\n")
         with pytest.raises(WorkloadError):
             Trace.load(path)
+
+    @pytest.mark.parametrize(
+        "line,token",
+        [
+            # Forms int(x, 16) accepts but Trace.save never writes: a
+            # loader that takes them breaks byte-identical round-trips.
+            ("0x40 R 100", "0x40"),
+            ("+40 R 100", "+40"),
+            ("-40 R 100", "-40"),
+            ("AB R 100", "AB"),
+            ("4_0 R 100", "4_0"),
+            # Same for gaps: int() accepts signs/underscores/whitespace.
+            ("40 R +100", "+100"),
+            ("40 R 1_0", "1_0"),
+        ],
+    )
+    def test_load_rejects_noncanonical_tokens(self, tmp_path, line, token):
+        path = tmp_path / "trace.txt"
+        path.write_text(line + "\n")
+        with pytest.raises(WorkloadError) as excinfo:
+            Trace.load(path)
+        assert repr(token) in str(excinfo.value)
+
+    def test_p2p_requests_roundtrip(self, tmp_path):
+        trace = Trace([
+            Request(0x40, False, 10, is_p2p=True),
+            Request(0x80, True, 20),
+            Request(0xC0, False, 30),
+        ])
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert [r.is_p2p for r in loaded] == [True, False, False]
+        assert list(loaded) == list(trace)
+
+    def test_save_load_save_is_byte_identical(self, tmp_path):
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        trace = sample_trace(25)
+        trace.save(first)
+        Trace.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
 
     def test_write_fraction(self):
         trace = Trace([Request(0, True, 0), Request(64, False, 0)])
