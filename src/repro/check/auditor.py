@@ -36,8 +36,12 @@ port.backlog          the split pending lists tile the pending list and
                       the per-kind counters tile the totals
 port.directory        directory outstanding writes == port outstanding
                       writes
-txn.conservation      generated == completed + failed (+ in flight
-                      mid-run), per kind and in total
+txn.conservation      generated == completed + failed + timed-out +
+                      shed (+ in flight mid-run), per kind and in total
+overload.conservation overload dispositions never exceed generation,
+                      and retries never exceed deadline expiries
+overload.backlog      with shedding enabled, pending + outstanding
+                      (and its high-water mark) never exceed shed_high
 p2p.conservation      peer-to-peer copies conserve: generated ==
                       completed + failed at end of run
 p2p.leak              no P2P_XFER packet is ever queued on a route that
@@ -343,24 +347,35 @@ class InvariantAuditor:
     def _check_port(self, out: List[Violation], final: bool) -> None:
         port = self.system.port
         host = port.config.host
-        if not 0 <= port.outstanding_reads <= port.window:
-            out.append((
-                "port.window", "port",
-                f"outstanding reads {port.outstanding_reads} outside "
-                f"[0, {port.window}]",
-            ))
-        if not 0 <= port.outstanding_writes <= host.store_buffer_entries:
-            out.append((
-                "port.window", "port",
-                f"outstanding writes {port.outstanding_writes} outside "
-                f"[0, {host.store_buffer_entries}]",
-            ))
-        if not 0 <= port.outstanding_p2p <= host.store_buffer_entries:
-            out.append((
-                "port.window", "port",
-                f"outstanding p2p copies {port.outstanding_p2p} outside "
-                f"[0, {host.store_buffer_entries}]",
-            ))
+        if port.open_loop:
+            # Open-loop injection bypasses the window, so only the
+            # sign of the counters is checkable.
+            for name in ("outstanding_reads", "outstanding_writes",
+                         "outstanding_p2p"):
+                if getattr(port, name) < 0:
+                    out.append((
+                        "port.window", "port",
+                        f"negative {name}: {getattr(port, name)}",
+                    ))
+        else:
+            if not 0 <= port.outstanding_reads <= port.window:
+                out.append((
+                    "port.window", "port",
+                    f"outstanding reads {port.outstanding_reads} outside "
+                    f"[0, {port.window}]",
+                ))
+            if not 0 <= port.outstanding_writes <= host.store_buffer_entries:
+                out.append((
+                    "port.window", "port",
+                    f"outstanding writes {port.outstanding_writes} outside "
+                    f"[0, {host.store_buffer_entries}]",
+                ))
+            if not 0 <= port.outstanding_p2p <= host.store_buffer_entries:
+                out.append((
+                    "port.window", "port",
+                    f"outstanding p2p copies {port.outstanding_p2p} outside "
+                    f"[0, {host.store_buffer_entries}]",
+                ))
         reads = len(port._pending_reads)
         writes = len(port._pending_writes)
         p2p = len(port._pending_p2p)
@@ -377,6 +392,13 @@ class InvariantAuditor:
                            port.completed_p2p)),
             ("failed", (port.failed_reads, port.failed_writes,
                         port.failed_p2p)),
+            ("timeouts", (port.timeout_reads, port.timeout_writes,
+                          port.timeout_p2p)),
+            ("retries", (port.retried_reads, port.retried_writes,
+                         port.retried_p2p)),
+            ("timed_out", (port.timed_out_reads, port.timed_out_writes,
+                           port.timed_out_p2p)),
+            ("shed", (port.shed_reads, port.shed_writes, port.shed_p2p)),
         ):
             whole = getattr(port, total)
             if whole != sum(parts):
@@ -391,13 +413,14 @@ class InvariantAuditor:
                 f"directory holds {port.directory.outstanding_writes} "
                 f"writes, port holds {port.outstanding_writes}",
             ))
-        retired = port.completed + port.failed
+        retired = port.completed + port.failed + port.timed_out + port.shed
         if retired > port.generated or port.generated > port.total_requests:
             out.append((
                 "txn.conservation", "port",
                 f"retired {retired} / generated {port.generated} / "
                 f"total {port.total_requests} out of order",
             ))
+        self._check_overload(out, port)
         if final:
             if port.generated != port.total_requests:
                 out.append((
@@ -409,22 +432,75 @@ class InvariantAuditor:
                 out.append((
                     "txn.conservation", "port",
                     f"{port.completed} completed + {port.failed} failed "
+                    f"+ {port.timed_out} timed out + {port.shed} shed "
                     f"!= {port.generated} generated",
                 ))
-            for invariant, kind, gen, done, failed in (
+            for invariant, kind, gen, done, failed, lost in (
                 ("txn.conservation", "reads", port.generated_reads,
-                 port.completed_reads, port.failed_reads),
+                 port.completed_reads, port.failed_reads,
+                 port.timed_out_reads + port.shed_reads),
                 ("txn.conservation", "writes", port.generated_writes,
-                 port.completed_writes, port.failed_writes),
+                 port.completed_writes, port.failed_writes,
+                 port.timed_out_writes + port.shed_writes),
                 ("p2p.conservation", "p2p copies", port.generated_p2p,
-                 port.completed_p2p, port.failed_p2p),
+                 port.completed_p2p, port.failed_p2p,
+                 port.timed_out_p2p + port.shed_p2p),
             ):
-                if gen != done + failed:
+                if gen != done + failed + lost:
                     out.append((
                         invariant, "port",
                         f"{kind}: generated {gen} != completed {done} "
-                        f"+ failed {failed}",
+                        f"+ failed {failed} + timed-out/shed {lost}",
                     ))
+
+    def _check_overload(self, out: List[Violation], port) -> None:
+        """Overload-layer invariants (no-op for closed-loop default runs).
+
+        ``overload.conservation``: per-kind, every generated request is
+        heading toward exactly one disposition (completed / failed /
+        timed-out / shed) and retries never exceed the configured budget
+        per timeout.  ``overload.backlog``: with shedding enabled the
+        host-edge backlog (pending + outstanding) never exceeds
+        ``shed_high`` — including its recorded high-water mark.
+        """
+        overload = port.config.overload
+        if not port._overload:
+            return
+        for kind, gen, settled in (
+            ("reads", port.generated_reads,
+             port.completed_reads + port.failed_reads
+             + port.timed_out_reads + port.shed_reads),
+            ("writes", port.generated_writes,
+             port.completed_writes + port.failed_writes
+             + port.timed_out_writes + port.shed_writes),
+            ("p2p copies", port.generated_p2p,
+             port.completed_p2p + port.failed_p2p
+             + port.timed_out_p2p + port.shed_p2p),
+        ):
+            if settled > gen:
+                out.append((
+                    "overload.conservation", "port",
+                    f"{kind}: {settled} dispositions exceed {gen} generated",
+                ))
+        if port.retries > port.timeouts:
+            out.append((
+                "overload.conservation", "port",
+                f"{port.retries} retries exceed {port.timeouts} timeouts",
+            ))
+        if overload.shedding_enabled:
+            backlog = len(port.pending) + port.outstanding
+            bound = overload.shed_high
+            if backlog > bound:
+                out.append((
+                    "overload.backlog", "port",
+                    f"backlog {backlog} exceeds shed_high {bound}",
+                ))
+            if port.peak_backlog > bound:
+                out.append((
+                    "overload.backlog", "port",
+                    f"peak backlog {port.peak_backlog} exceeds "
+                    f"shed_high {bound}",
+                ))
 
     def _check_final(self, out: List[Violation]) -> None:
         """End-of-run residue: nothing live may remain anywhere.
@@ -436,7 +512,10 @@ class InvariantAuditor:
         never of live ones.
         """
         port = self.system.port
-        healthy = port.failed == 0
+        # Timed-out requests may strand stale packets of their cancelled
+        # attempts exactly like RAS-failed ones, so either disqualifies
+        # the run from the strict "nothing anywhere" residue check.
+        healthy = port.failed == 0 and port.timeouts == 0
         for queue in self._iter_queues():
             for packet in queue.packets():
                 txn = packet.transaction

@@ -64,6 +64,17 @@ def _p2p_workload() -> WorkloadSpec:
     return replace(_matrix_workload(), p2p_fraction=0.15)
 
 
+def _overload_workload() -> WorkloadSpec:
+    """Bursty open-loop arrivals at twice the matrix workload's rate."""
+    return replace(
+        _matrix_workload(),
+        arrival="onoff",
+        mean_gap_ns=1.0,
+        on_fraction=0.5,
+        on_burst=16.0,
+    )
+
+
 #: A case is ``(name, config, workload)``; ``None`` means the shared
 #: matrix workload.
 MatrixCase = Tuple[str, SystemConfig, Optional[WorkloadSpec]]
@@ -122,6 +133,25 @@ def matrix_cases() -> List[MatrixCase]:
         "p2p/obs+ras",
         p2p_base.with_obs(attribution=True).with_ras(bit_error_rate=1e-6),
         p2p,
+    ))
+    # Overload: open-loop Poisson arrivals past capacity with deadlines,
+    # bounded retry and admission watermarks — pins down the timeout /
+    # retry / shed machinery, its attribution tiling (obs) and its
+    # interaction with RAS replays and degraded availability.
+    overload_base = _matrix_config(topology="skiplist").with_overload(
+        deadline_ps=150_000,
+        max_retries=2,
+        retry_backoff_ps=50_000,
+        shed_high=96,
+        shed_low=48,
+    )
+    overload = _overload_workload()
+    cases.append(("overload/base", overload_base, overload))
+    cases.append((
+        "overload/obs", overload_base.with_obs(attribution=True), overload
+    ))
+    cases.append((
+        "overload/ras", overload_base.with_ras(bit_error_rate=1e-6), overload
     ))
     return cases
 

@@ -297,6 +297,80 @@ class ObsConfig:
 
 
 # ---------------------------------------------------------------------------
+# Overload robustness (host-edge deadlines, retry, admission control)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Host-edge overload behaviour: deadlines, retry, load shedding.
+
+    Everything defaults to *off*: a default instance adds no events, no
+    counters in results, and is omitted from job digests entirely, so
+    pre-overload digests and golden corpora stay bit-identical.
+
+    ``deadline_ps`` arms an end-to-end timer per generated request.  A
+    request still queued at the host edge when its deadline fires is
+    abandoned (the client gave up while it waited for admission); a
+    request already in service is cancelled — its window slot and
+    directory claim are released, any in-flight packets become stale and
+    are dropped on arrival — and retried after a deterministic
+    exponential backoff (``retry_backoff_ps * 2**attempt``) up to
+    ``max_retries`` times before it is abandoned for good.
+
+    ``shed_high`` / ``shed_low`` are hysteresis watermarks over the
+    requests *in the system* (host-edge backlog plus outstanding): when
+    the count reaches ``shed_high`` at an arrival, admission closes and
+    new requests are counted as shed until it falls back to
+    ``shed_low``.  This bounds the backlog at ``shed_high`` and turns
+    goodput collapse into a plateau (see ``docs/ras.md``).
+    """
+
+    #: End-to-end request deadline; 0 disables timeouts entirely.
+    deadline_ps: int = 0
+    #: Retry budget for requests cancelled in service (0 = no retries).
+    max_retries: int = 0
+    #: Backoff before retry ``k`` is re-queued: ``retry_backoff_ps << k``.
+    retry_backoff_ps: int = ns(200)
+    #: Admission closes when pending + outstanding reaches this; 0
+    #: disables shedding.
+    shed_high: int = 0
+    #: Admission reopens once pending + outstanding falls to this.
+    shed_low: int = 0
+
+    @property
+    def deadlines_enabled(self) -> bool:
+        return self.deadline_ps > 0
+
+    @property
+    def shedding_enabled(self) -> bool:
+        return self.shed_high > 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.deadlines_enabled or self.shedding_enabled
+
+    def validate(self) -> None:
+        if self.deadline_ps < 0:
+            raise ConfigError("overload: deadline_ps cannot be negative")
+        if self.max_retries < 0:
+            raise ConfigError("overload: max_retries cannot be negative")
+        if self.retry_backoff_ps < 0:
+            raise ConfigError("overload: retry_backoff_ps cannot be negative")
+        if self.shed_high < 0:
+            raise ConfigError("overload: shed_high cannot be negative")
+        if self.shed_low < 0:
+            raise ConfigError("overload: shed_low cannot be negative")
+        if self.shed_high and self.shed_low > self.shed_high:
+            raise ConfigError(
+                "overload: shed_low must not exceed shed_high "
+                f"({self.shed_low} > {self.shed_high})"
+            )
+        if self.max_retries and not self.deadlines_enabled:
+            raise ConfigError(
+                "overload: max_retries needs a deadline to trigger retries"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Arbitration / topology identifiers
 # ---------------------------------------------------------------------------
 ARBITER_ROUND_ROBIN = "round_robin"
@@ -384,6 +458,11 @@ class SystemConfig:
     # retry-buffer replay and permanent failures scheduled *mid-run*,
     # which degrade gracefully instead of raising.  Default off.
     ras: FaultPlan = field(default_factory=FaultPlan)
+    # Host-edge overload behaviour (repro host.port): end-to-end request
+    # deadlines with bounded retry, and admission-control watermarks that
+    # shed load once the edge backlog crosses shed_high.  Default off;
+    # a default instance is omitted from job digests entirely.
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     # Fraction of transactions excluded from latency/energy statistics
     # as cache/queue warm-up (they are still simulated and still count
     # toward runtime).
@@ -415,6 +494,7 @@ class SystemConfig:
         self.link.validate()
         self.obs.validate()
         self.ras.validate()
+        self.overload.validate()
         self.packet.validate()
         self.cube.validate()
         self.host.validate()
@@ -529,6 +609,10 @@ class SystemConfig:
     def with_ras(self, **changes) -> "SystemConfig":
         """Return a copy with fault-plan (RAS) fields replaced."""
         return replace(self, ras=replace(self.ras, **changes))
+
+    def with_overload(self, **changes) -> "SystemConfig":
+        """Return a copy with overload (deadline/shedding) fields replaced."""
+        return replace(self, overload=replace(self.overload, **changes))
 
 
 _LABEL_RE = re.compile(

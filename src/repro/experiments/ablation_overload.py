@@ -1,0 +1,150 @@
+"""Overload ablation — graceful degradation past the saturation knee.
+
+Drives one skip-list MN with an *open-loop* Poisson arrival process at a
+sweep of offered-load multiples (the closed-loop injector of the paper
+can never exceed capacity, so this regime is invisible to it), and
+contrasts two host-edge policies:
+
+* **no protection** — open-loop injection only: every arrival is
+  admitted and waits as long as it takes.  Offered load past the knee
+  makes the host-edge backlog grow monotonically with load, and the
+  latency of what does complete is unbounded queueing delay.
+* **deadline + shedding** — end-to-end deadlines with bounded retry
+  plus admission-control watermarks (hysteresis): past the knee the
+  backlog is clamped at ``shed_high``, goodput *plateaus* at roughly
+  the service capacity instead of collapsing, and the p99 of requests
+  that do complete stays bounded because no admitted request can queue
+  longer than its deadline allows.
+
+Each audited run also certifies the overload conservation invariant
+(generated == completed + timed-out + shed + failed) via ``repro.check``.
+See ``docs/ras.md`` for the overload model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import render_table
+from repro.config import SystemConfig, parse_label
+from repro.experiments.base import (
+    DEFAULT_REQUESTS,
+    ExperimentOutput,
+    base_system,
+    suite,
+)
+from repro.runner import SimJob, get_runner
+from repro.units import ns
+from repro.workloads import WorkloadSpec
+
+TOPOLOGY = "100%-SL"
+#: Offered load as a multiple of the workload's baseline arrival rate.
+LOAD_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+LEGS = ("open", "shed")
+
+#: Host-edge policy of the protected leg: generous end-to-end deadline
+#: with one retry, and watermarks a few windows deep.
+DEADLINE_PS = ns(1500)
+MAX_RETRIES = 1
+SHED_HIGH = 96
+SHED_LOW = 48
+
+
+def _leg_config(leg: str, base: SystemConfig) -> SystemConfig:
+    config = parse_label(TOPOLOGY, base)
+    if leg == "shed":
+        return config.with_overload(
+            deadline_ps=DEADLINE_PS,
+            max_retries=MAX_RETRIES,
+            shed_high=SHED_HIGH,
+            shed_low=SHED_LOW,
+        )
+    return config
+
+
+def run(
+    requests: int = DEFAULT_REQUESTS,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    base_config: Optional[SystemConfig] = None,
+) -> ExperimentOutput:
+    base = base_system(base_config)
+    # Overload behaviour is a property of the host edge and the network,
+    # so one representative workload keeps the sweep tractable.
+    workload = suite(workloads)[0]
+    runner = get_runner()
+
+    keys: List[Tuple[str, float]] = []
+    jobs: List[SimJob] = []
+    for leg in LEGS:
+        config = _leg_config(leg, base)
+        for factor in LOAD_FACTORS:
+            jobs.append(
+                SimJob(
+                    config=config,
+                    workload=replace(
+                        workload,
+                        arrival="poisson",
+                        mean_gap_ns=workload.mean_gap_ns / factor,
+                    ),
+                    requests=requests,
+                )
+            )
+            keys.append((leg, factor))
+    results = dict(zip(keys, runner.run(jobs)))
+
+    goodput: Dict[str, Dict[float, float]] = {}
+    p99: Dict[str, Dict[float, float]] = {}
+    backlog: Dict[str, Dict[float, float]] = {}
+    miss: Dict[str, Dict[float, float]] = {}
+    rows = []
+    for leg in LEGS:
+        goodput[leg] = {}
+        p99[leg] = {}
+        backlog[leg] = {}
+        miss[leg] = {}
+        row = [leg]
+        for factor in LOAD_FACTORS:
+            result = results[(leg, factor)]
+            goodput[leg][factor] = result.goodput_rps
+            p99[leg][factor] = result.p99_latency_ns
+            backlog[leg][factor] = result.extra.get("overload.peak_backlog", 0.0)
+            miss[leg][factor] = result.deadline_miss_rate
+            row.append(
+                f"{result.goodput_rps / 1e6:6.1f}M/s "
+                f"p99={result.p99_latency_ns:6.0f}ns "
+                f"bk={backlog[leg][factor]:4.0f} "
+                f"miss={miss[leg][factor] * 100.0:4.1f}%"
+            )
+        rows.append(row)
+
+    table = render_table(
+        ["policy"] + [f"{factor:g}x" for factor in LOAD_FACTORS],
+        rows,
+        title=(
+            f"Overload: goodput / success-p99 / peak backlog / miss rate "
+            f"vs offered load ({workload.name}, open-loop Poisson, "
+            f"{TOPOLOGY})"
+        ),
+    )
+
+    return ExperimentOutput(
+        experiment_id="ablation_overload",
+        title="Overload robustness: goodput collapse vs graceful shedding",
+        text=table,
+        data={
+            "grid": goodput,
+            "p99_ns": p99,
+            "peak_backlog": backlog,
+            "miss_rate": miss,
+        },
+        notes=(
+            "Expected: past the knee the unprotected leg's peak backlog grows "
+            "monotonically with offered load and its p99 is dominated by "
+            "unbounded host-edge queueing; the deadline+shedding leg "
+            "clamps the backlog at shed_high, its goodput plateaus near "
+            "service capacity, and the p99 of *completed* requests stays "
+            "bounded because admission and deadlines cap the queueing any "
+            "served request can accumulate."
+        ),
+    )

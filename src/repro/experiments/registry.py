@@ -9,6 +9,7 @@ from repro.experiments import (
     ablation_arbiters,
     ablation_buffers,
     ablation_interleave,
+    ablation_overload,
     ablation_p2p,
     ablation_ras,
     ablation_ratio,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
     "fig15": fig15.run,
     "ablation_arbiters": ablation_arbiters.run,
     "ablation_interleave": ablation_interleave.run,
+    "ablation_overload": ablation_overload.run,
     "ablation_p2p": ablation_p2p.run,
     "ablation_ras": ablation_ras.run,
     "ablation_serdes": ablation_serdes.run,

@@ -38,6 +38,21 @@ from repro.workloads.base import Request
 _SEG_REQ_PORT = segment_code("req.port")
 _SEG_REQ_INJECT = segment_code("req.inject")
 _SEG_RESP_PORT = segment_code("resp.port")
+# Overload dead-time labels: a cancelled attempt's span [claim, timeout]
+# collapses to host.timeout.<kind>, and the backoff + re-queue wait
+# [timeout, next claim] becomes host.retry.<kind>, so a retried request's
+# segments still tile its end-to-end latency exactly (zero residual).
+_KINDS = ("read", "write", "p2p")
+_SEG_TIMEOUT = {kind: segment_code(f"host.timeout.{kind}") for kind in _KINDS}
+_SEG_RETRY = {kind: segment_code(f"host.retry.{kind}") for kind in _KINDS}
+
+
+def _kind_of(txn: Transaction) -> str:
+    if txn.is_write:
+        return "write"
+    if txn.is_p2p:
+        return "p2p"
+    return "read"
 
 
 class HostPort:
@@ -58,6 +73,7 @@ class HostPort:
         window: Optional[int] = None,
         pool: Optional[PacketPool] = None,
         cube_techs: Optional[Sequence[str]] = None,
+        open_loop: bool = False,
     ) -> None:
         self.port_id = port_id
         self.config = config
@@ -139,6 +155,45 @@ class HostPort:
         self.write_burst_mode = False
         self.burst_mode_toggles = 0
 
+        # Overload robustness (config.overload + open-loop arrivals).
+        # ``open_loop`` bypasses the MLP window / store-buffer gating so
+        # offered load can exceed capacity (the arrival process, not the
+        # completion rate, paces injection).  All state below is inert
+        # for closed-loop runs with a default OverloadConfig.
+        self.open_loop = open_loop
+        overload = config.overload
+        self._deadline_ps = overload.deadline_ps
+        self._max_retries = overload.max_retries
+        self._retry_backoff_ps = overload.retry_backoff_ps
+        self._shed_high = overload.shed_high
+        self._shed_low = overload.shed_low
+        self._shedding = False  # hysteresis state: admission closed
+        self._overload = open_loop or overload.enabled
+        self.tracer = None  # set by the system when tracing is on
+        # event counters: deadline expiries and re-issues (per attempt)
+        self.timeouts = 0
+        self.timeout_reads = 0
+        self.timeout_writes = 0
+        self.timeout_p2p = 0
+        self.retries = 0
+        self.retried_reads = 0
+        self.retried_writes = 0
+        self.retried_p2p = 0
+        # disposition counters: each generated request ends in exactly
+        # one of completed / failed / timed_out / shed
+        self.timed_out = 0
+        self.timed_out_reads = 0
+        self.timed_out_writes = 0
+        self.timed_out_p2p = 0
+        self.shed = 0
+        self.shed_reads = 0
+        self.shed_writes = 0
+        self.shed_p2p = 0
+        # responses of deadline-cancelled attempts, dropped on arrival
+        self.stale_responses = 0
+        # high-water mark of pending + outstanding (the shed bound)
+        self.peak_backlog = 0
+
         self._at_port: Deque[Transaction] = deque()  # crossed the chip, not injected
         inject_queue.on_drain = lambda engine: self._pump(engine)
 
@@ -167,20 +222,35 @@ class HostPort:
             txn.segments = []
         txn.location = self.address_map.decode(request.address)
         txn.dest_cube = self.cube_node_ids[txn.location.cube_index]
-        self.pending.append(txn)
         if request.is_write:
-            self._pending_writes.append(txn)
             self.generated_writes += 1
         elif request.is_p2p:
             self._assign_p2p_dest(txn)
-            self._pending_p2p.append(txn)
             self.generated_p2p += 1
         else:
-            self._pending_reads.append(txn)
             self.generated_reads += 1
         self.generated += 1
         self._observe_for_hysteresis(request.is_write)
-        self.try_inject(engine)
+        if self._overload and not self._admit():
+            # Admission is closed (hysteresis above shed_high): the
+            # request is counted as shed, never enqueued.  This is what
+            # bounds the backlog and turns collapse into a plateau.
+            self._shed_txn(engine, txn)
+        else:
+            self.pending.append(txn)
+            if request.is_write:
+                self._pending_writes.append(txn)
+            elif request.is_p2p:
+                self._pending_p2p.append(txn)
+            else:
+                self._pending_reads.append(txn)
+            if self._deadline_ps:
+                engine.schedule(self._deadline_ps, self._deadline_expired, txn)
+            self.try_inject(engine)
+        if self._overload:
+            backlog = len(self.pending) + self.outstanding
+            if backlog > self.peak_backlog:
+                self.peak_backlog = backlog
         if self.generated < self.total_requests:
             engine.schedule(max(request.gap_ps, 0), self._next_arrival)
 
@@ -329,17 +399,25 @@ class HostPort:
 
     def try_inject(self, engine: Engine) -> None:
         host = self.config.host
+        open_loop = self.open_loop
         while self.pending:
-            read_room = self.outstanding_reads < self.window
-            write_room = self.outstanding_writes < host.store_buffer_entries
-            if self._pending_p2p:
-                p2p_room = self.outstanding_p2p < host.store_buffer_entries
-                if not read_room and not write_room and not p2p_room:
-                    return  # no window slot of any kind is free
+            if open_loop:
+                # Open-loop arrivals model an external population, not a
+                # finite-MLP core: the window never gates injection and
+                # only network backpressure (and the directory) throttles.
+                read_room = write_room = True
+                p2p_room = bool(self._pending_p2p)
             else:
-                p2p_room = False
-                if not read_room and not write_room:
-                    return  # no window slot of either kind is free
+                read_room = self.outstanding_reads < self.window
+                write_room = self.outstanding_writes < host.store_buffer_entries
+                if self._pending_p2p:
+                    p2p_room = self.outstanding_p2p < host.store_buffer_entries
+                    if not read_room and not write_room and not p2p_room:
+                        return  # no window slot of any kind is free
+                else:
+                    p2p_room = False
+                    if not read_room and not write_room:
+                        return  # no window slot of either kind is free
             txn = self._select_next(read_room, write_room, p2p_room)
             if txn is None:
                 return  # everything pending is blocked or out of room
@@ -353,7 +431,19 @@ class HostPort:
             if self._degraded and not self._reachable(txn):
                 self._fail_unissued(engine, txn)
                 continue
-            txn.start_ps = engine.now
+            # claim_ps is this attempt's grant; start_ps stays pinned at
+            # the *first* grant so total_ps spans retries.
+            txn.claim_ps = engine.now
+            if txn.start_ps is None:
+                txn.start_ps = engine.now
+            seg = txn.segments
+            if seg is not None:
+                if txn.retry_mark is not None:
+                    # backoff + re-queue wait of a retried request
+                    seg.append((_SEG_RETRY[_kind_of(txn)], txn.retry_mark,
+                                engine.now))
+                    txn.retry_mark = None
+                txn.seg_mark = len(seg)
             if not txn.is_write and not txn.is_p2p:
                 txn.read_seq = self._read_seq
                 self._read_seq += 1
@@ -387,8 +477,8 @@ class HostPort:
         txn.inject_ps = engine.now
         seg = txn.segments
         if seg is not None:
-            reached_port = txn.start_ps + self.config.host.port_latency_ps
-            seg.append((_SEG_REQ_PORT, txn.start_ps, reached_port))
+            reached_port = txn.claim_ps + self.config.host.port_latency_ps
+            seg.append((_SEG_REQ_PORT, txn.claim_ps, reached_port))
             if engine.now > reached_port:
                 seg.append((_SEG_REQ_INJECT, reached_port, engine.now))
         if txn.is_p2p:
@@ -446,21 +536,35 @@ class HostPort:
         if txn is None:
             raise WorkloadError("response packet without a transaction")
         if txn.failed:
-            # The response crossed the cut just before the failure hit;
-            # the transaction was already errored (its slot/directory
-            # state is long released), so the late data is dropped.
-            self.late_responses += 1
+            if txn.timed_out:
+                # Response of a deadline-cancelled attempt: the request
+                # was already retried or abandoned, so the data is stale.
+                self.stale_responses += 1
+            else:
+                # The response crossed the cut just before the failure
+                # hit; the transaction was already errored (its
+                # slot/directory state is long released), so the late
+                # data is dropped.
+                self.late_responses += 1
             self.pool.release(packet)
             return
         txn.response_hops = packet.hops_traversed
         # The packet's job ends here — completion rides the transaction.
         self.pool.release(packet)
+        if self._deadline_ps:
+            # The response is accepted *now*: a deadline timer firing
+            # while it crosses the chip back to the core must not cancel
+            # the attempt out from under it.
+            txn.landing = True
         # the response still has to cross the chip back to the core
         engine.schedule(self.config.host.port_latency_ps, self._complete, txn)
 
     def _complete(self, engine: Engine, txn: Transaction) -> None:
         if txn.failed:
-            self.late_responses += 1
+            if txn.timed_out:
+                self.stale_responses += 1
+            else:
+                self.late_responses += 1
             return
         txn.complete_ps = engine.now
         if txn.segments is not None:
@@ -496,6 +600,180 @@ class HostPort:
             self.outstanding_reads -= 1
         if self._track_outstanding:
             self._outstanding_txns.discard(txn)
+
+    # -- overload: admission control, deadlines, retry ---------------------------
+    def _admit(self) -> bool:
+        """Hysteresis admission check over pending + outstanding.
+
+        Admission closes when the backlog reaches ``shed_high`` and
+        reopens only once it has drained to ``shed_low``, so the gate
+        does not flap around the watermark.  With shedding enabled the
+        backlog is bounded by ``shed_high`` (checked by
+        ``overload.backlog`` in repro.check).
+        """
+        if not self._shed_high:
+            return True
+        backlog = len(self.pending) + self.outstanding
+        if self._shedding:
+            if backlog <= self._shed_low:
+                self._shedding = False
+                return True
+            return False
+        if backlog >= self._shed_high:
+            self._shedding = True
+            return False
+        return True
+
+    def _shed_txn(self, engine: Engine, txn: Transaction) -> None:
+        """Refuse admission: the request terminates as shed, unserved."""
+        txn.failed = True  # terminal marker: never a latency sample
+        txn.complete_ps = engine.now
+        self.shed += 1
+        if txn.is_write:
+            self.shed_writes += 1
+        elif txn.is_p2p:
+            self.shed_p2p += 1
+        else:
+            self.shed_reads += 1
+        if self.tracer is not None:
+            self.tracer.host_shed(engine.now, txn.tid)
+        self._update_done()
+        self.on_transaction_done(engine, txn)
+
+    def _deadline_expired(self, engine: Engine, txn: Transaction) -> None:
+        """The end-to-end deadline of one attempt fired.
+
+        No-op when the attempt already resolved (completed, errored, or
+        its response was accepted and is crossing the chip).  An
+        unclaimed attempt — still waiting for admission at the host
+        edge — abandons terminally: the client gave up while queued.  A
+        claimed attempt is cancelled (claims released, in-flight packets
+        become stale) and retried after exponential backoff, until the
+        retry budget is spent.
+        """
+        if txn.complete_ps is not None or txn.failed or txn.landing:
+            return
+        kind = _kind_of(txn)
+        self.timeouts += 1
+        if txn.is_write:
+            self.timeout_writes += 1
+        elif txn.is_p2p:
+            self.timeout_p2p += 1
+        else:
+            self.timeout_reads += 1
+        if self.tracer is not None:
+            self.tracer.host_timeout(engine.now, txn.tid, txn.retries)
+        if txn.claim_ps is None:
+            self._remove_pending(txn)
+            self._abandon(engine, txn)
+            return
+        # Cancel the attempt in service.  The transaction object stays
+        # marked failed+timed_out so every stale path — _pump skip,
+        # response drop, RAS sweeps — ignores it; the *logical* request
+        # lives on in the retry clone.  The attempt's partial segments
+        # collapse to one host.timeout span so the history still tiles.
+        seg = txn.segments
+        if seg is not None:
+            del seg[txn.seg_mark:]
+            seg.append((_SEG_TIMEOUT[kind], txn.claim_ps, engine.now))
+        self._release_claims(txn)
+        txn.failed = True
+        txn.timed_out = True
+        if txn.retries < self._max_retries:
+            clone = self._clone_for_retry(engine, txn)
+            backoff = self._retry_backoff_ps << txn.retries
+            engine.schedule(backoff, self._reissue, clone)
+        else:
+            self._abandon(engine, txn)
+        self.try_inject(engine)
+
+    def _remove_pending(self, txn: Transaction) -> None:
+        self.pending.remove(txn)
+        if txn.is_write:
+            self._pending_writes.remove(txn)
+        elif txn.is_p2p:
+            self._pending_p2p.remove(txn)
+        else:
+            self._pending_reads.remove(txn)
+
+    def _abandon(self, engine: Engine, txn: Transaction) -> None:
+        """Terminal timed-out disposition for one logical request."""
+        txn.failed = True
+        txn.timed_out = True
+        txn.complete_ps = engine.now
+        self.timed_out += 1
+        if txn.is_write:
+            self.timed_out_writes += 1
+        elif txn.is_p2p:
+            self.timed_out_p2p += 1
+        else:
+            self.timed_out_reads += 1
+        self._update_done()
+        self.on_transaction_done(engine, txn)
+
+    def _clone_for_retry(self, engine: Engine, txn: Transaction) -> Transaction:
+        """A fresh attempt object carrying the logical request's history.
+
+        The timed-out original keeps its identity for any packets still
+        in flight (they resolve as stale); the clone inherits the pinned
+        ``start_ps`` and the segment history, so latency and attribution
+        span every attempt.
+        """
+        clone = Transaction(
+            address=txn.address,
+            is_write=txn.is_write,
+            port_id=txn.port_id,
+            issue_ps=txn.issue_ps,
+            is_p2p=txn.is_p2p,
+        )
+        clone.location = txn.location
+        clone.dest_cube = txn.dest_cube
+        clone.p2p_dest_cube = txn.p2p_dest_cube
+        clone.p2p_dest_location = txn.p2p_dest_location
+        clone.start_ps = txn.start_ps
+        clone.retries = txn.retries + 1
+        clone.retry_mark = engine.now
+        clone.segments = txn.segments
+        # Stale packets of the cancelled attempt must not write into the
+        # live history.
+        txn.segments = None
+        return clone
+
+    def _reissue(self, engine: Engine, clone: Transaction) -> None:
+        """Re-queue a retry clone after its backoff elapsed.
+
+        Retries pass the same admission gate as fresh arrivals — a
+        refused retry abandons terminally, which is what keeps the
+        backlog bound exact under shedding.
+        """
+        if clone.failed:
+            return  # errored while backing off (topology change)
+        if self._overload and not self._admit():
+            self._abandon(engine, clone)
+            return
+        self.retries += 1
+        if clone.is_write:
+            self.retried_writes += 1
+        elif clone.is_p2p:
+            self.retried_p2p += 1
+        else:
+            self.retried_reads += 1
+        if self.tracer is not None:
+            self.tracer.host_retry(engine.now, clone.tid, clone.retries)
+        self.pending.append(clone)
+        if clone.is_write:
+            self._pending_writes.append(clone)
+        elif clone.is_p2p:
+            self._pending_p2p.append(clone)
+        else:
+            self._pending_reads.append(clone)
+        if self._deadline_ps:
+            engine.schedule(self._deadline_ps, self._deadline_expired, clone)
+        self.try_inject(engine)
+        if self._overload:
+            backlog = len(self.pending) + self.outstanding
+            if backlog > self.peak_backlog:
+                self.peak_backlog = backlog
 
     # -- RAS degradation ---------------------------------------------------------
     def _fail_common(self, engine: Engine, txn: Transaction) -> None:
@@ -567,5 +845,13 @@ class HostPort:
         return self.outstanding_reads + self.outstanding_writes + self.outstanding_p2p
 
     def _update_done(self) -> None:
-        """Refresh the cached termination flag after a completion/error."""
-        self.done = self.completed + self.failed >= self.total_requests
+        """Refresh the cached termination flag after a completion/error.
+
+        Every generated request ends in exactly one disposition:
+        completed, failed (RAS), timed out (deadline, retries spent), or
+        shed (admission refused).
+        """
+        self.done = (
+            self.completed + self.failed + self.timed_out + self.shed
+            >= self.total_requests
+        )

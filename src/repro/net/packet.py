@@ -218,6 +218,12 @@ class Transaction:
         "read_seq",
         "failed",
         "segments",
+        "claim_ps",
+        "seg_mark",
+        "landing",
+        "retries",
+        "timed_out",
+        "retry_mark",
     )
 
     _ids = itertools.count()
@@ -263,6 +269,22 @@ class Transaction:
         # system's ObsConfig asks for attribution, and every component
         # the transaction visits then appends (label, start_ps, end_ps).
         self.segments: Optional[List[Tuple[str, int, int]]] = None
+        # Overload (host-edge deadlines/retry; repro.host.port).  All
+        # no-ops unless the config arms deadlines.  ``claim_ps`` is this
+        # *attempt's* window-grant time (start_ps stays pinned at the
+        # first grant so total_ps spans retries); ``seg_mark`` remembers
+        # the segment count at the claim so a cancelled attempt's
+        # partial segments can be truncated; ``landing`` is set the
+        # instant a response is accepted, closing the race against a
+        # deadline timer firing while the response crosses the chip;
+        # ``timed_out`` distinguishes deadline-stale transactions from
+        # RAS-failed ones on the response path.
+        self.claim_ps: Optional[int] = None
+        self.seg_mark = 0
+        self.landing = False
+        self.retries = 0
+        self.timed_out = False
+        self.retry_mark: Optional[int] = None  # timeout time, for host.retry
 
     # latency components (valid once complete) --------------------------
     # The breakdown clock starts when the request enters the memory

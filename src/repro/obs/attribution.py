@@ -29,6 +29,10 @@ label                         meaning
 ``resp.retry.<link>``         CRC-failed traversals replayed (RAS)
 ``resp.wire.<link>``          link traversal (response path)
 ``resp.port``                 memory port -> core crossing
+``host.timeout.<kind>``       cancelled attempt's span [claim, deadline]
+                              (overload; counts toward the ``req`` phase)
+``host.retry.<kind>``         retry backoff + re-admission wait
+                              (overload; counts toward the ``req`` phase)
 ============================  =============================================
 
 The segments of one transaction tile its end-to-end latency exactly:
@@ -129,8 +133,16 @@ def sum_by_label(
 
 
 def phase_of(label: str) -> Optional[str]:
-    """The ``req``/``mem``/``resp`` phase a segment label belongs to."""
+    """The ``req``/``mem``/``resp`` phase a segment label belongs to.
+
+    Overload dead time (``host.timeout.*`` backed-off ``host.retry.*``)
+    precedes the surviving attempt's arrival at memory, so it counts
+    toward ``req`` — the breakdown's to-memory interval spans it by
+    construction (``start_ps`` is pinned at the first window grant).
+    """
     head = label.split(".", 1)[0]
+    if head == "host":
+        return "req"
     return head if head in PHASES else None
 
 

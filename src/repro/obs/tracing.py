@@ -46,7 +46,13 @@ MEM = 3
 ENGINE = 4
 RETRY = 5
 FAULT = 6
-KIND_LABELS = ("link", "queue", "grant", "mem", "engine", "retry", "fault")
+HOST_TIMEOUT = 7
+HOST_RETRY = 8
+HOST_SHED = 9
+KIND_LABELS = (
+    "link", "queue", "grant", "mem", "engine", "retry", "fault",
+    "host_timeout", "host_retry", "host_shed",
+)
 
 
 def _decode(event: tuple) -> tuple:
@@ -88,6 +94,11 @@ class TraceRecorder:
         # permanent failures the run suffered, never evicted.
         self.link_replays: Dict[str, int] = {}
         self.failures: List[Tuple[int, int, int]] = []  # (ts, a, b)
+        # Overload aggregates (host-edge deadlines/shedding), never
+        # evicted even when the ring wraps.
+        self.host_timeouts = 0
+        self.host_retries = 0
+        self.host_sheds = 0
         self.last_ts = 0
 
     # -- emission hooks (called from component hot paths when tracing) ----
@@ -156,6 +167,21 @@ class TraceRecorder:
         self.failures.append((now_ps, a, b))
         self._emit((now_ps, FAULT, a, b))
 
+    def host_timeout(self, now_ps: int, tid: int, attempt: int) -> None:
+        """A request's end-to-end deadline fired at the host edge."""
+        self.host_timeouts += 1
+        self._emit((now_ps, HOST_TIMEOUT, tid, attempt))
+
+    def host_retry(self, now_ps: int, tid: int, attempt: int) -> None:
+        """A timed-out request was re-queued after its backoff."""
+        self.host_retries += 1
+        self._emit((now_ps, HOST_RETRY, tid, attempt))
+
+    def host_shed(self, now_ps: int, tid: int) -> None:
+        """Admission control refused a request at the host edge."""
+        self.host_sheds += 1
+        self._emit((now_ps, HOST_SHED, tid))
+
     # -- views ------------------------------------------------------------
     @property
     def retained(self) -> int:
@@ -205,6 +231,9 @@ class TraceRecorder:
             "queue_peak_depth": dict(sorted(self.queue_peak.items())),
             "link_replays": dict(sorted(self.link_replays.items())),
             "link_failures": [list(entry) for entry in self.failures],
+            "host_timeouts": self.host_timeouts,
+            "host_retries": self.host_retries,
+            "host_sheds": self.host_sheds,
         }
 
     # -- dumps -------------------------------------------------------------
@@ -234,6 +263,10 @@ class TraceRecorder:
             record.update(link=event[2], replays=event[3], retry_ps=event[4])
         elif kind == FAULT:
             record.update(a=event[2], b=event[3])
+        elif kind in (HOST_TIMEOUT, HOST_RETRY):
+            record.update(tid=event[2], attempt=event[3])
+        elif kind == HOST_SHED:
+            record.update(tid=event[2])
         return record
 
     def write_jsonl(
@@ -338,6 +371,23 @@ class TraceRecorder:
                         "ph": "i", "s": "g", "cat": "fault",
                         "name": f"link {event[2]}<->{event[3]} failed",
                         "pid": 0, "tid": tid("ras"),
+                        "ts": ts_us,
+                    }
+                )
+            elif kind in (HOST_TIMEOUT, HOST_RETRY, HOST_SHED):
+                label = {
+                    HOST_TIMEOUT: "timeout",
+                    HOST_RETRY: "retry",
+                    HOST_SHED: "shed",
+                }[kind]
+                name = f"{label} txn #{event[2]}"
+                if kind != HOST_SHED:
+                    name += f" attempt {event[3]}"
+                events.append(
+                    {
+                        "ph": "i", "s": "t", "cat": "overload",
+                        "name": name,
+                        "pid": 0, "tid": tid("host overload"),
                         "ts": ts_us,
                     }
                 )

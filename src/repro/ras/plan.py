@@ -25,7 +25,7 @@ cycles; the runtime machinery lives in :mod:`repro.ras.injector`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.errors import ConfigError
 from repro.units import ns
@@ -72,69 +72,88 @@ class FaultPlan:
         return bool(self.link_failures or self.cube_failures)
 
     def validate(self) -> None:
+        """Check the whole plan and report *every* violation at once.
+
+        A hand-written plan with several mistakes gets one
+        :class:`ConfigError` listing all of them with path-style
+        locations (``ras.link_failures[2]: ...``) instead of a fix-one
+        rerun-discover-the-next loop.
+        """
+        errors: List[str] = []
         if not 0.0 <= self.bit_error_rate < 1.0:
-            raise ConfigError("ras: bit_error_rate must be in [0, 1)")
+            errors.append("ras.bit_error_rate: must be in [0, 1)")
         if self.retry_penalty_ps < 0:
-            raise ConfigError("ras: retry_penalty_ps cannot be negative")
+            errors.append("ras.retry_penalty_ps: cannot be negative")
         if self.max_replays < 1:
-            raise ConfigError("ras: max_replays must be at least 1")
+            errors.append("ras.max_replays: must be at least 1")
         seen_rates = set()
-        for entry in self.link_error_rates:
+        for index, entry in enumerate(self.link_error_rates):
+            path = f"ras.link_error_rates[{index}]"
             if len(entry) != 3:
-                raise ConfigError(
-                    f"ras: link error rate {entry!r} must be (a, b, rate)"
-                )
+                errors.append(f"{path}: {entry!r} must be (a, b, rate)")
+                continue
             a, b, rate = entry
-            _check_edge("link error rate", a, b)
+            if not _check_edge(errors, path, a, b):
+                continue
             if not 0.0 <= rate < 1.0:
-                raise ConfigError(f"ras: edge {a}-{b} rate must be in [0, 1)")
+                errors.append(f"{path}: edge {a}-{b} rate must be in [0, 1)")
             key = frozenset((a, b))
             if key in seen_rates:
-                raise ConfigError(f"ras: duplicate error rate for edge {a}-{b}")
+                errors.append(f"{path}: duplicate error rate for edge {a}-{b}")
             seen_rates.add(key)
         seen_failures = set()
-        for entry in self.link_failures:
+        for index, entry in enumerate(self.link_failures):
+            path = f"ras.link_failures[{index}]"
             if len(entry) != 3:
-                raise ConfigError(
-                    f"ras: link failure {entry!r} must be (a, b, time_ps)"
-                )
+                errors.append(f"{path}: {entry!r} must be (a, b, time_ps)")
+                continue
             a, b, time_ps = entry
-            _check_edge("link failure", a, b)
+            if not _check_edge(errors, path, a, b):
+                continue
             if not isinstance(time_ps, int) or time_ps < 0:
-                raise ConfigError(
-                    f"ras: link failure time {time_ps!r} must be a "
+                errors.append(
+                    f"{path}: link failure time {time_ps!r} must be a "
                     "non-negative integer (picoseconds)"
                 )
             key = frozenset((a, b))
             if key in seen_failures:
-                raise ConfigError(f"ras: duplicate link failure {a}-{b}")
+                errors.append(f"{path}: duplicate link failure {a}-{b}")
             seen_failures.add(key)
         seen_cubes = set()
-        for entry in self.cube_failures:
+        for index, entry in enumerate(self.cube_failures):
+            path = f"ras.cube_failures[{index}]"
             if len(entry) != 2:
-                raise ConfigError(
-                    f"ras: cube failure {entry!r} must be (cube_id, time_ps)"
-                )
+                errors.append(f"{path}: {entry!r} must be (cube_id, time_ps)")
+                continue
             cube, time_ps = entry
             if not isinstance(cube, int) or cube < 1:
-                raise ConfigError(
-                    f"ras: cube failure id {cube!r} must be a cube node id (>= 1)"
+                errors.append(
+                    f"{path}: cube failure id {cube!r} must be a "
+                    "cube node id (>= 1)"
                 )
+                continue
             if not isinstance(time_ps, int) or time_ps < 0:
-                raise ConfigError(
-                    f"ras: cube failure time {time_ps!r} must be a "
+                errors.append(
+                    f"{path}: cube failure time {time_ps!r} must be a "
                     "non-negative integer (picoseconds)"
                 )
             if cube in seen_cubes:
-                raise ConfigError(f"ras: duplicate cube failure {cube}")
+                errors.append(f"{path}: duplicate cube failure {cube}")
             seen_cubes.add(cube)
+        if errors:
+            raise ConfigError("; ".join(errors))
 
 
-def _check_edge(what: str, a: object, b: object) -> None:
+def _check_edge(errors: List[str], path: str, a: object, b: object) -> bool:
+    """Append edge-endpoint violations to ``errors``; True when clean."""
+    clean = True
     for node in (a, b):
         if not isinstance(node, int) or node < 0:
-            raise ConfigError(
-                f"ras: {what} endpoint {node!r} must be a non-negative node id"
+            errors.append(
+                f"{path}: endpoint {node!r} must be a non-negative node id"
             )
-    if a == b:
-        raise ConfigError(f"ras: {what} {a}-{b} is a self-loop")
+            clean = False
+    if clean and a == b:
+        errors.append(f"{path}: edge {a}-{b} is a self-loop")
+        clean = False
+    return clean

@@ -284,6 +284,37 @@ class SimResult:
             return 0.0
         return self.collector.row_hits / self.collector.count
 
+    # -- overload metrics (nonzero only for overload/open-loop runs) ---------
+    @property
+    def requests_timed_out(self) -> int:
+        """Requests abandoned at their deadline (retry budget spent)."""
+        return int(self.extra.get("overload.timed_out", 0.0))
+
+    @property
+    def requests_shed(self) -> int:
+        """Requests refused admission at the host edge."""
+        return int(self.extra.get("overload.shed", 0.0))
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of generated requests lost to deadlines or shedding."""
+        generated = self.extra.get("overload.generated", 0.0)
+        if not generated:
+            return 0.0
+        return (self.requests_timed_out + self.requests_shed) / generated
+
+    @property
+    def goodput_rps(self) -> float:
+        """Requests completed per second of simulated time.
+
+        For open-loop runs this is the served rate to plot against the
+        offered rate: past saturation it plateaus (shedding on) or the
+        run degenerates into backlog growth (shedding off).
+        """
+        if self.runtime_ps <= 0:
+            return 0.0
+        return self.requests_served / (self.runtime_ps * 1e-12)
+
     def speedup_over(self, baseline: "SimResult") -> float:
         """Relative speedup vs a baseline run (0.0 == same runtime)."""
         if self.runtime_ps <= 0:

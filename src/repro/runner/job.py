@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, fields, is_dataclass
+from dataclasses import MISSING, dataclass, fields, is_dataclass
 from typing import Any, Dict
 
 from repro.config import SystemConfig
@@ -28,8 +28,30 @@ from repro.workloads import WorkloadSpec
 #: (the config/workload schema itself is already part of the digest).
 #: v2: RAS fault layer (FaultPlan in SystemConfig, availability fields).
 #: v3: peer-to-peer copies (p2p_fraction / p2p_pattern knobs, p2p
-#: packet kinds and collector aggregates).
+#: packet kinds and collector aggregates).  v3 also covers the overload
+#: layer: its fields are digest-transparent at their defaults (below),
+#: so pre-overload digests were never invalidated.
 JOB_DIGEST_VERSION = "repro-job-v3"
+
+#: Fields that are *omitted* from the canonical tree while they hold
+#: their dataclass default.  This is how an off-by-default feature can
+#: add config/workload fields without invalidating every existing digest
+#: and cached result: a job that never touches the feature canonicalizes
+#: exactly as it did before the fields existed, while any non-default
+#: setting enters the tree (and the digest) as usual.
+_DIGEST_TRANSPARENT = {
+    "SystemConfig": frozenset({"overload"}),
+    "WorkloadSpec": frozenset({"arrival", "on_fraction", "on_burst"}),
+}
+
+
+def _is_default(f: Any, value: Any) -> bool:
+    """True when a dataclass field holds its declared default value."""
+    if f.default is not MISSING:
+        return value == f.default
+    if f.default_factory is not MISSING:  # type: ignore[misc]
+        return value == f.default_factory()
+    return False
 
 
 def canonical_tree(value: Any) -> Any:
@@ -40,9 +62,13 @@ def canonical_tree(value: Any) -> Any:
     same tree no matter how (or in what order) they were built.
     """
     if is_dataclass(value) and not isinstance(value, type):
+        transparent = _DIGEST_TRANSPARENT.get(type(value).__name__, ())
         tree: Dict[str, Any] = {"__class__": type(value).__name__}
         for f in fields(value):
-            tree[f.name] = canonical_tree(getattr(value, f.name))
+            field_value = getattr(value, f.name)
+            if f.name in transparent and _is_default(f, field_value):
+                continue
+            tree[f.name] = canonical_tree(field_value)
         return tree
     if isinstance(value, dict):
         return {

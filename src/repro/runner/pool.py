@@ -143,11 +143,16 @@ class JobFailure:
     error: str
     kind: str = "exception"
     attempts: int = 1
+    #: Jobs of the same batch that completed and were checkpointed to
+    #: the cache — what a rerun of the identical batch will *not* repeat.
+    checkpointed: int = 0
 
     def to_error(self) -> RunnerError:
         return RunnerError(
             f"job {self.label} (digest {self.digest[:12]}) failed "
-            f"[{self.kind}, {self.attempts} attempt(s)]: {self.error}"
+            f"[{self.kind}, {self.attempts} attempt(s)]: {self.error}; "
+            f"{self.checkpointed} job(s) from the batch are checkpointed "
+            "(a rerun resumes from the cache)"
         )
 
 
@@ -222,6 +227,14 @@ class ParallelRunner:
             self.simulations_run += sum(
                 1 for job in pending if isinstance(results[job.digest()], SimResult)
             )
+        # Stamp every failure with the batch's checkpoint count so the
+        # error (or collected row) says how much a rerun will skip.
+        checkpointed = sum(
+            1 for value in results.values() if isinstance(value, SimResult)
+        )
+        for value in results.values():
+            if isinstance(value, JobFailure):
+                value.checkpointed = checkpointed
         out: List[Union[SimResult, JobFailure]] = []
         for digest in digests:
             value = results[digest]

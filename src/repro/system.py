@@ -271,6 +271,7 @@ class MemoryNetworkSystem:
             window=workload.mlp,
             pool=self.packet_pool,
             cube_techs=[self.topology.tech_of(c) for c in self.cube_node_ids],
+            open_loop=workload.is_open_loop,
         )
         self.host_node.attach_port(self.port.on_response)
 
@@ -289,6 +290,7 @@ class MemoryNetworkSystem:
         tracer = TraceRecorder(obs.trace_ring)
         if obs.trace_engine_events:
             self.engine.set_tracer(tracer)
+        self.port.tracer = tracer
         for link, _kind in self._links:
             link.tracer = tracer
         for router in self._routers.values():
@@ -624,6 +626,19 @@ class MemoryNetworkSystem:
             extra["p2p.generated"] = float(self.port.generated_p2p)
             extra["p2p.completed"] = float(self.port.completed_p2p)
             extra["p2p.failed"] = float(self.port.failed_p2p)
+        port = self.port
+        if port._overload:
+            # Overload accounting (open-loop arrivals and/or deadlines/
+            # shedding).  Keyed only when the feature is active so
+            # pre-overload result digests are untouched.
+            extra["overload.generated"] = float(port.generated)
+            extra["overload.completed"] = float(port.completed)
+            extra["overload.timeouts"] = float(port.timeouts)
+            extra["overload.retries"] = float(port.retries)
+            extra["overload.timed_out"] = float(port.timed_out)
+            extra["overload.shed"] = float(port.shed)
+            extra["overload.stale_responses"] = float(port.stale_responses)
+            extra["overload.peak_backlog"] = float(port.peak_backlog)
         if self._ras is not None:
             extra.update(self._ras.counters())
             extra["ras.replays"] = float(

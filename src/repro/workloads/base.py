@@ -12,6 +12,12 @@ from dataclasses import dataclass, replace
 
 from repro.errors import WorkloadError
 
+# Arrival processes (WorkloadSpec.arrival)
+ARRIVAL_CLOSED = "closed"  # paper's closed loop: window throttles generation
+ARRIVAL_POISSON = "poisson"  # open loop, exponential gaps
+ARRIVAL_ONOFF = "onoff"  # open loop, bursty Markov-modulated ON/OFF
+VALID_ARRIVALS = (ARRIVAL_CLOSED, ARRIVAL_POISSON, ARRIVAL_ONOFF)
+
 
 @dataclass(frozen=True)
 class Request:
@@ -58,6 +64,17 @@ class WorkloadSpec:
     # (cube -> cube DMA) instead of host round trips.  Zero keeps the
     # generator's RNG stream bit-identical to pre-p2p behaviour.
     p2p_fraction: float = 0.0
+    # Arrival process.  "closed" is the paper's closed-loop injector:
+    # the host window throttles generation, so offered load can never
+    # exceed capacity.  "poisson" and "onoff" are *open-loop*: requests
+    # arrive on their own clock regardless of completions, so offered
+    # load is a free knob that can push the network past saturation.
+    # "onoff" draws bursty Markov-modulated traffic: ON periods of
+    # ~``on_burst`` requests at rate mean_gap/on_fraction, separated by
+    # OFF silences sized to preserve the long-run rate.
+    arrival: str = ARRIVAL_CLOSED
+    on_fraction: float = 1.0  # fraction of time spent in ON periods
+    on_burst: float = 32.0  # mean requests per ON period (geometric)
     description: str = ""
 
     def validate(self) -> None:
@@ -79,6 +96,17 @@ class WorkloadSpec:
             raise WorkloadError(f"{self.name}: burst_size must be >= 1")
         if not 0.0 <= self.p2p_fraction <= 1.0:
             raise WorkloadError(f"{self.name}: p2p_fraction out of range")
+        if self.arrival not in VALID_ARRIVALS:
+            raise WorkloadError(f"{self.name}: unknown arrival {self.arrival!r}")
+        if not 0.0 < self.on_fraction <= 1.0:
+            raise WorkloadError(f"{self.name}: on_fraction out of range")
+        if self.on_burst < 1.0:
+            raise WorkloadError(f"{self.name}: on_burst must be >= 1")
+
+    @property
+    def is_open_loop(self) -> bool:
+        """True when requests arrive regardless of completions."""
+        return self.arrival != ARRIVAL_CLOSED
 
     def scaled_gap_ns(self, num_ports: int) -> float:
         """Per-port gap preserving total system load at ``num_ports``."""

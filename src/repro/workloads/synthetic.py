@@ -17,7 +17,7 @@ from typing import Iterator, Optional
 
 from repro.errors import WorkloadError
 from repro.sim.random import RandomStream
-from repro.workloads.base import Request, WorkloadSpec
+from repro.workloads.base import ARRIVAL_ONOFF, Request, WorkloadSpec
 
 
 class SyntheticWorkload:
@@ -46,6 +46,7 @@ class SyntheticWorkload:
         self._run_remaining = 0
         self._pending_write_line: Optional[int] = None
         self._burst_remaining = 0
+        self._on_remaining = 0
         self.generated = 0
 
     def __iter__(self) -> Iterator[Request]:
@@ -58,6 +59,12 @@ class SyntheticWorkload:
         and an exponential gap of ``burst * mean`` between bursts so the
         long-run arrival rate matches the spec.
         """
+        # The on/off branch draws from the RNG only when the workload
+        # opts in (same idiom as p2p_fraction), so closed-loop and
+        # Poisson workloads keep their pre-overload RNG streams — and
+        # therefore their digests — bit-identical.
+        if self.spec.arrival == ARRIVAL_ONOFF:
+            return self._onoff_gap()
         if self._burst_remaining > 0:
             self._burst_remaining -= 1
             return 0
@@ -66,6 +73,29 @@ class SyntheticWorkload:
             self._burst_remaining = self.rng.geometric_run(burst) - 1
         span = (self._burst_remaining + 1) * self.mean_gap_ps
         return int(self.rng.expovariate(span))
+
+    def _onoff_gap(self) -> int:
+        """Markov-modulated ON/OFF gap preserving the long-run rate.
+
+        ON periods hold ~``on_burst`` requests (geometric) at the
+        compressed gap ``mean * on_fraction``; the OFF silence that
+        separates bursts has mean ``B * mean * (1 - on_fraction)``, so a
+        burst of B requests spans ``B * mean`` on average and the
+        long-run arrival rate matches the spec exactly.
+        """
+        spec = self.spec
+        on_gap_mean = self.mean_gap_ps * spec.on_fraction
+        if self._on_remaining > 0:
+            self._on_remaining -= 1
+            return int(self.rng.expovariate(on_gap_mean))
+        burst = self.rng.geometric_run(spec.on_burst)
+        self._on_remaining = burst - 1
+        gap = self.rng.expovariate(on_gap_mean)
+        if spec.on_fraction < 1.0:
+            gap += self.rng.expovariate(
+                burst * self.mean_gap_ps * (1.0 - spec.on_fraction)
+            )
+        return int(gap)
 
     def _next_line(self) -> int:
         if self._run_remaining <= 0:

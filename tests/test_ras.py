@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import warnings
 
 import pytest
@@ -13,7 +14,7 @@ from repro.errors import ConfigError, RunnerError
 from repro.ras import FaultPlan
 from repro.runner import JobFailure, ParallelRunner, SimJob
 from repro.runner.cache import ResultCache
-from repro.runner.pool import default_jobs
+from repro.runner.pool import default_jobs, execute_job as _real_execute_job
 from repro.serialization import result_digest
 from repro.sweep import Sweep
 from repro.system import MemoryNetworkSystem
@@ -263,6 +264,16 @@ def _crashing_execute(job):  # pragma: no cover - runs in a worker
     os._exit(17)
 
 
+#: Seed marking the job that hangs its worker (see ``_hanging_execute``).
+_HANG_SEED = 777
+
+
+def _hanging_execute(job):  # pragma: no cover - runs in a worker
+    if job.config.seed == _HANG_SEED:
+        time.sleep(60)
+    return _real_execute_job(job)
+
+
 class TestRunnerHardening:
     def test_collect_returns_structured_failures(self):
         runner = ParallelRunner(jobs=1, cache=ResultCache())
@@ -301,6 +312,47 @@ class TestRunnerHardening:
         assert resumed.simulations_run == 0
         assert isinstance(out[1], JobFailure)
         assert result_digest(out[0]) and result_digest(out[2])
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="hang injection needs fork inheritance",
+    )
+    def test_watchdog_kill_then_resume_matches_uninterrupted(self, monkeypatch):
+        """A sweep killed mid-flight resumes from its checkpoints.
+
+        The watchdog tears down a sweep whose third job hangs; the two
+        completed jobs are already checkpointed.  Rerunning the same
+        batch against the same cache executes *only* the killed job, and
+        the final results are bit-identical to an uninterrupted run.
+        """
+        import repro.runner.pool as pool_module
+
+        batch = [
+            _good_job(seed=1),
+            _good_job(seed=2),
+            _good_job(seed=_HANG_SEED),
+        ]
+        cache = ResultCache()
+        killed = ParallelRunner(jobs=2, cache=cache, job_timeout_s=1.5)
+        with monkeypatch.context() as patched:
+            patched.setattr(pool_module, "execute_job", _hanging_execute)
+            out = killed.run(batch, on_error="collect")
+        assert killed.simulations_run == 2
+        failure = out[2]
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "timeout"
+        # The failure reports how much of the batch a rerun will skip.
+        assert failure.checkpointed == 2
+        assert "2 job(s) from the batch are checkpointed" in str(failure.to_error())
+
+        resumed = ParallelRunner(jobs=1, cache=cache)
+        resumed_out = resumed.run(batch)
+        assert resumed.simulations_run == 1  # only the killed job re-ran
+
+        uninterrupted = ParallelRunner(jobs=1, cache=ResultCache()).run(batch)
+        assert [result_digest(r) for r in resumed_out] == [
+            result_digest(r) for r in uninterrupted
+        ]
 
     def test_watchdog_times_out_hung_jobs(self):
         runner = ParallelRunner(
