@@ -3,21 +3,23 @@
 Runs one fig10-style configuration (chain topology, 1 TiB, KMEANS) and
 measures raw engine throughput along two axes —
 
-* scheduler: the batched cohort ``batch`` engine, the two-tier timing
-  ``wheel`` (default), and the plain binary ``heap`` that doubles as
-  the determinism reference — all three must produce identical result
-  digests;
+* scheduler: the compiled ``native`` engine (when built), the batched
+  cohort ``batch`` engine, the two-tier timing ``wheel`` (default),
+  and the plain binary ``heap`` that doubles as the determinism
+  reference — all must produce identical result digests;
 * observability: off (the zero-overhead-when-off baseline), per-hop
-  latency ``attribution``, and full event ``trace`` recording.
+  latency ``attribution``, 1-in-8 ``sampled`` attribution
+  (``attribution_sample=8``), and full event ``trace`` recording.
 
 Cells are measured in interleaved rounds (round-robin over every cell
 per repeat) so machine-load drift biases no single backend, and each
 cell reports the best round (events/second is a throughput: the
 minimum-noise run is the honest one on a shared machine).  The obs-off
-cells get ``--ratio-rounds`` extra interleaved rounds: the scheduler
-ratios (``wheel_vs_heap``, ``batch_vs_heap``) compare best-of
-estimates whose per-sample noise on a busy 1-CPU box exceeds the true
-scheduler differences, so those cells need more samples to converge.
+and sampled cells get ``--ratio-rounds`` extra interleaved rounds: the
+scheduler ratios (``wheel_vs_heap``, ``native_vs_wheel``, ...) and the
+gated sampled-attribution overhead compare best-of estimates whose
+per-sample noise on a busy 1-CPU box exceeds the true differences, so
+those cells need more samples to converge.
 
 Results land in ``BENCH_engine.json`` together with the batch engine's
 cohort-size distribution (how much same-timestamp batching the workload
@@ -29,8 +31,9 @@ tolerant floor on one scheduler's obs-off cell (``--gate-scheduler``).
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--requests N]
-        [--repeats N] [--output PATH] [--min-events-per-s FLOOR]
-        [--gate-scheduler {wheel,heap,batch}]
+        [--repeats N] [--output PATH] [--history N]
+        [--min-events-per-s FLOOR] [--max-sampled-overhead FRACTION]
+        [--gate-scheduler {wheel,heap,batch,native}]
 
 ``REPRO_BENCH_REQUESTS`` also scales the request count.
 """
@@ -56,7 +59,6 @@ from repro.workloads import get_workload
 DEFAULT_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "300")) * 4
 WORKLOAD = "KMEANS"
 BASE = SystemConfig(total_capacity_bytes=TIB_BYTES)
-TREND_KEEP = 50  # trend entries retained in BENCH_engine.json
 
 
 def run_cell(requests: int, config: SystemConfig, scheduler: str):
@@ -107,6 +109,13 @@ def main(argv=None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
     )
     parser.add_argument(
+        "--history",
+        type=int,
+        default=50,
+        help="trend entries retained in the output file (keeps the "
+        "checked-in payload from growing without bound)",
+    )
+    parser.add_argument(
         "--min-events-per-s",
         type=float,
         default=None,
@@ -114,17 +123,31 @@ def main(argv=None) -> int:
         "below this floor — the CI perf gate",
     )
     parser.add_argument(
+        "--max-sampled-overhead",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the gated scheduler's 1-in-8 sampled "
+        "attribution overhead exceeds this fraction (CI uses 0.10)",
+    )
+    parser.add_argument(
         "--gate-scheduler",
-        choices=("wheel", "heap", "batch"),
+        choices=("wheel", "heap", "batch", "native"),
         default="wheel",
-        help="which scheduler's obs-off cell the floor applies to",
+        help="which scheduler's cells the perf gates apply to",
     )
     args = parser.parse_args(argv)
+    if args.history < 1:
+        parser.error("--history must be at least 1")
 
-    schedulers = ["batch", "wheel", "heap"]
+    from repro.sim import native
+
+    schedulers = ["native", "batch", "wheel", "heap"]
     if importlib.util.find_spec("numpy") is None:
         print("  (numpy not installed: skipping the batch engine)")
         schedulers.remove("batch")
+    if not native.available():
+        print("  (compiled extension not built: skipping the native engine)")
+        schedulers.remove("native")
     if args.gate_scheduler not in schedulers:
         print(f"FAIL: cannot gate on unavailable {args.gate_scheduler}",
               file=sys.stderr)
@@ -132,6 +155,7 @@ def main(argv=None) -> int:
     configs = [
         ("off", BASE),
         ("attribution", BASE.with_obs(attribution=True)),
+        ("sampled", BASE.with_obs(attribution=True, attribution_sample=8)),
         ("traced", BASE.with_obs(attribution=True, trace=True)),
     ]
     cells = [
@@ -161,11 +185,16 @@ def main(argv=None) -> int:
                 if scheduler == "batch":
                     cohorts = system.engine.cohort_stats()
                     pool_stats = system.packet_pool.stats()
+    # The sampled cell rides along in the extra rounds: its overhead is
+    # gated in CI, and comparing a best-of-N cell against a best-of-3
+    # one would misread round-count asymmetry as obs overhead.
+    ratio_configs = [("off", BASE), configs[2]]
     for _round in range(args.ratio_rounds):
         for scheduler in schedulers:
-            rate, _result, _system = run_cell(args.requests, BASE, scheduler)
-            key = f"{scheduler}_off"
-            rates[key] = max(rates[key], rate)
+            for obs_label, config in ratio_configs:
+                rate, _result, _system = run_cell(args.requests, config, scheduler)
+                key = f"{scheduler}_{obs_label}"
+                rates[key] = max(rates[key], rate)
     rates = {key: round(rate) for key, rate in rates.items()}
     for scheduler in schedulers:
         for obs_label, _config in configs:
@@ -220,7 +249,14 @@ def main(argv=None) -> int:
         "batch_vs_heap": (
             ratio("batch_off", "heap_off") if "batch" in schedulers else None
         ),
+        "native_vs_heap": (
+            ratio("native_off", "heap_off") if "native" in schedulers else None
+        ),
+        "native_vs_wheel": (
+            ratio("native_off", "wheel_off") if "native" in schedulers else None
+        ),
         "attribution_overhead": overhead("wheel", "attribution"),
+        "sampled_attribution_overhead": overhead("wheel", "sampled"),
         "trace_overhead": overhead("wheel", "traced"),
         "batch_attribution_overhead": (
             overhead("batch", "attribution") if "batch" in schedulers else None
@@ -233,7 +269,7 @@ def main(argv=None) -> int:
             ),
             "requests": args.requests,
             "events_per_s": rates,
-        }])[-TREND_KEEP:],
+        }])[-args.history:],
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -250,6 +286,19 @@ def main(argv=None) -> int:
         print(
             f"  perf gate        : {gate_key} {rates[gate_key]} >= "
             f"{args.min_events_per_s:g} events/s OK"
+        )
+    if args.max_sampled_overhead is not None:
+        sampled = overhead(args.gate_scheduler, "sampled")
+        if sampled is None or sampled > args.max_sampled_overhead:
+            print(
+                f"FAIL: {args.gate_scheduler} sampled-attribution overhead "
+                f"{sampled} above the {args.max_sampled_overhead:g} ceiling",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"  obs gate         : {args.gate_scheduler} sampled attribution "
+            f"overhead {sampled:.3f} <= {args.max_sampled_overhead:g} OK"
         )
     return 0
 

@@ -29,8 +29,9 @@ from repro.net.packet import Packet, Transaction
 from repro.net.pool import PacketPool
 from repro.net.routing import RouteClass, RouteTable
 from repro.net.router import Router
-from repro.obs.attribution import segment_code
+from repro.obs.attribution import MaskedSegments, SegmentMask, segment_code
 from repro.sim.engine import Engine
+from repro.sim.random import derive_seed
 from repro.workloads.base import Request
 
 # Interned attribution labels (repro.obs); the port's labels carry no
@@ -148,8 +149,23 @@ class HostPort:
         self._track_outstanding = config.ras.has_permanent_failures
         self._outstanding_txns = set()
         # observability: transactions born at this port carry segment
-        # lists only when attribution is on (repro.obs)
+        # lists only when attribution is on (repro.obs).  With
+        # attribution_sample = N, a deterministic 1-in-N stride of the
+        # generation sequence carries them instead; the phase derives
+        # from the config seed so reruns sample identical transactions,
+        # and the schedule itself never changes (sampled-out runs are
+        # bit-identical to attribution-off ones).
         self._attribution = config.obs.attribution
+        self._attr_sample = config.obs.attribution_sample
+        self._attr_phase = 0
+        if self._attr_sample > 1:
+            self._attr_phase = derive_seed(
+                config.seed, "obs.attribution", str(port_id)
+            ) % self._attr_sample
+        self._attr_mask = None
+        if config.obs.attribution_labels is not None:
+            self._attr_mask = SegmentMask(config.obs.attribution_labels)
+        self.attribution_sampled = 0  # exact count of sampled-in txns
         # write-burst hysteresis state (Section 5.3)
         self._recent_writes: Deque[bool] = deque(maxlen=config.hysteresis_window)
         self.write_burst_mode = False
@@ -218,8 +234,15 @@ class HostPort:
             issue_ps=engine.now,
             is_p2p=request.is_p2p,
         )
-        if self._attribution:
-            txn.segments = []
+        if self._attribution and (
+            self._attr_sample == 1
+            or self.generated % self._attr_sample == self._attr_phase
+        ):
+            txn.segments = (
+                [] if self._attr_mask is None
+                else MaskedSegments(self._attr_mask)
+            )
+            self.attribution_sampled += 1
         txn.location = self.address_map.decode(request.address)
         txn.dest_cube = self.cube_node_ids[txn.location.cube_index]
         if request.is_write:
@@ -444,6 +467,7 @@ class HostPort:
                                 engine.now))
                     txn.retry_mark = None
                 txn.seg_mark = len(seg)
+                txn.seg_suppressed = getattr(seg, "suppressed_ps", 0)
             if not txn.is_write and not txn.is_p2p:
                 txn.read_seq = self._read_seq
                 self._read_seq += 1
@@ -675,6 +699,10 @@ class HostPort:
         seg = txn.segments
         if seg is not None:
             del seg[txn.seg_mark:]
+            if type(seg) is not list:
+                # roll the masked list's dropped-span tally back to the
+                # claim too: the truncated spans no longer count
+                seg.suppressed_ps = txn.seg_suppressed
             seg.append((_SEG_TIMEOUT[kind], txn.claim_ps, engine.now))
         self._release_claims(txn)
         txn.failed = True

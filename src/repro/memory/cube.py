@@ -36,6 +36,7 @@ class MemoryCube:
         route_response: Callable[[Packet], None],
         bank_scale: float = 1.0,
         pool: Optional[PacketPool] = None,
+        queue_cls: type = InputQueue,
     ) -> None:
         self.node_id = node_id
         self.tech = tech
@@ -45,7 +46,7 @@ class MemoryCube:
         banks_per_quadrant = max(1, int(cube_config.banks_per_quadrant * bank_scale))
         self.controllers: List[QuadrantController] = []
         for quadrant in range(cube_config.num_quadrants):
-            inject = InputQueue(
+            inject = queue_cls(
                 f"cube{node_id}.q{quadrant}.inject", cube_config.controller_queue_depth
             )
             index = router.add_input(inject)

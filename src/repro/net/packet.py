@@ -220,6 +220,7 @@ class Transaction:
         "segments",
         "claim_ps",
         "seg_mark",
+        "seg_suppressed",
         "landing",
         "retries",
         "timed_out",
@@ -281,6 +282,9 @@ class Transaction:
         # RAS-failed ones on the response path.
         self.claim_ps: Optional[int] = None
         self.seg_mark = 0
+        # suppressed_ps of a label-masked segment list at the claim,
+        # restored with the seg_mark truncation on deadline cancel
+        self.seg_suppressed = 0
         self.landing = False
         self.retries = 0
         self.timed_out = False

@@ -76,15 +76,29 @@ def _decode(event: tuple) -> tuple:
 class TraceRecorder:
     """Bounded event recorder plus whole-run link/queue aggregates."""
 
-    def __init__(self, capacity: int = 1 << 16) -> None:
+    def __init__(
+        self, capacity: int = 1 << 16, sample: int = 1, sample_phase: int = 0
+    ) -> None:
         if capacity < 1:
             raise ValueError("trace ring capacity must be at least 1")
+        if sample < 1:
+            raise ValueError("trace sample rate must be at least 1")
         self.capacity = capacity
+        # Deterministic 1-in-N ring sampling: every Nth emission (by
+        # global emission index, phase-shifted by ``sample_phase``,
+        # which the system derives from the config seed) is stored;
+        # the rest only bump the exact counters.  The whole-run
+        # aggregates below are updated by the emission hooks *before*
+        # the sampling decision, so they always cover every event.
+        self.sample = sample
+        self.sample_phase = sample_phase % sample
+        self.sampled_out = 0
+        self.stored = 0
         # Preallocated ring: a fixed slot array plus a write cursor.
         # Emission is one store + cursor bump, no allocator churn.
         self._ring: List[Optional[tuple]] = [None] * capacity
         self._pos = 0
-        self.emitted = 0  # total events seen; emitted - len(ring) = evicted
+        self.emitted = 0  # total events seen (sampled or not)
         # Whole-run aggregates (never evicted).
         self.link_busy_ps: Dict[str, int] = {}
         self.link_bits: Dict[str, int] = {}
@@ -103,14 +117,19 @@ class TraceRecorder:
 
     # -- emission hooks (called from component hot paths when tracing) ----
     def _emit(self, event: tuple) -> None:
+        index = self.emitted
+        self.emitted = index + 1
+        ts = event[0]
+        if ts > self.last_ts:
+            self.last_ts = ts
+        if self.sample > 1 and index % self.sample != self.sample_phase:
+            self.sampled_out += 1
+            return
+        self.stored += 1
         pos = self._pos
         self._ring[pos] = event
         pos += 1
         self._pos = 0 if pos == self.capacity else pos
-        self.emitted += 1
-        ts = event[0]
-        if ts > self.last_ts:
-            self.last_ts = ts
 
     def link_send(
         self, name: str, now_ps: int, ser_ps: int, arrival_ps: int, packet
@@ -185,16 +204,22 @@ class TraceRecorder:
     # -- views ------------------------------------------------------------
     @property
     def retained(self) -> int:
-        return min(self.emitted, self.capacity)
+        return min(self.stored, self.capacity)
 
     @property
     def dropped(self) -> int:
+        """Events seen but no longer in the ring (evicted or sampled out)."""
         return self.emitted - self.retained
+
+    @property
+    def evicted(self) -> int:
+        """Stored events the ring wrapped over."""
+        return self.stored - self.retained
 
     def _raw_events(self) -> List[tuple]:
         """Retained ring tuples, oldest first, still integer-coded."""
-        if self.emitted <= self.capacity:
-            return self._ring[: self.emitted]
+        if self.stored <= self.capacity:
+            return self._ring[: self.stored]
         pos = self._pos
         return self._ring[pos:] + self._ring[:pos]
 
@@ -224,6 +249,8 @@ class TraceRecorder:
             "events_emitted": self.emitted,
             "events_retained": self.retained,
             "events_dropped": self.dropped,
+            "events_sampled_out": self.sampled_out,
+            "trace_sample": self.sample,
             "ring_capacity": self.capacity,
             "link_utilization": self.link_utilization(runtime_ps),
             "link_bits": dict(sorted(self.link_bits.items())),

@@ -42,6 +42,9 @@ JOB_DIGEST_VERSION = "repro-job-v3"
 _DIGEST_TRANSPARENT = {
     "SystemConfig": frozenset({"overload"}),
     "WorkloadSpec": frozenset({"arrival", "on_fraction", "on_burst"}),
+    "ObsConfig": frozenset(
+        {"attribution_sample", "attribution_labels", "trace_sample"}
+    ),
 }
 
 

@@ -84,6 +84,7 @@ class BatchEngine(Engine):
         self._refills = 0
         self._promoted = 0
         self._collapsed = True  # the wheel's collapse heuristic never applies
+        self._stop = False  # request_stop() latch (see Engine)
         self._window: list = []
         self._cursor: int = 0
         self._spill: list = []
@@ -216,6 +217,9 @@ class BatchEngine(Engine):
                     self.now = event[0]
                     event[2](self, *event[3])
                     processed += 1
+                    if self._stop:
+                        self._stop = False
+                        return processed
                 if not self._refill():
                     return processed
         finally:
@@ -274,6 +278,9 @@ class BatchEngine(Engine):
                         )
                     if stop_when is not None and stop_when():
                         return processed
+                    if self._stop:
+                        self._stop = False
+                        return processed
                 if not self._refill():
                     if bounded and until > self.now:
                         self.now = until
@@ -320,6 +327,9 @@ class BatchEngine(Engine):
                         "likely livelock"
                     )
                 if stop_when is not None and stop_when():
+                    return processed
+                if self._stop:
+                    self._stop = False
                     return processed
         finally:
             self._pending -= processed

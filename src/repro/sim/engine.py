@@ -59,7 +59,7 @@ COLLAPSE_REFILLS = 8
 COLLAPSE_DENSITY = 24
 
 #: Valid scheduler names, in documentation order.
-SCHEDULERS = ("wheel", "heap", "batch")
+SCHEDULERS = ("wheel", "heap", "batch", "native")
 
 #: Environment variable selecting the ambient default scheduler (used
 #: when an Engine is built without an explicit choice — including the
@@ -69,6 +69,24 @@ ENGINE_ENV = "REPRO_ENGINE"
 _NO_ARGS: tuple = ()
 
 
+def backend_status() -> str:
+    """One line naming the valid backends and whether the optional ones
+    are usable here — appended to every unknown-backend error."""
+    from importlib.util import find_spec
+
+    try:
+        batch = "numpy installed" if find_spec("numpy") else "numpy missing"
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        batch = "numpy missing"
+    from repro.sim import native
+
+    built = "extension built" if native.available() else "extension not built"
+    return (
+        "valid backends: 'wheel', 'heap', "
+        f"'batch' ({batch}), 'native' ({built})"
+    )
+
+
 def default_scheduler() -> str:
     """The ambient scheduler: ``$REPRO_ENGINE``, else ``wheel``."""
     env = os.environ.get(ENGINE_ENV)
@@ -76,9 +94,33 @@ def default_scheduler() -> str:
         return "wheel"
     if env not in SCHEDULERS:
         raise SimulationError(
-            f"unknown {ENGINE_ENV}={env!r} (expected one of {SCHEDULERS})"
+            f"unknown {ENGINE_ENV}={env!r}; " + backend_status()
         )
     return env
+
+
+_ambient_native_warned = False
+
+
+def _ambient_native_fallback() -> None:
+    """Warn once when ``REPRO_ENGINE=native`` is set but the compiled
+    extension is not built; the run proceeds on ``wheel``.  An env var
+    set fleet-wide must not break machines without a compiler — only an
+    *explicit* ``Engine("native")`` raises."""
+    global _ambient_native_warned
+    if _ambient_native_warned:
+        return
+    _ambient_native_warned = True
+    import warnings
+
+    from repro.sim.native import BUILD_HINT
+
+    warnings.warn(
+        f"{ENGINE_ENV}=native but the compiled engine is not built; "
+        "falling back to the 'wheel' scheduler — " + BUILD_HINT,
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class Engine:
@@ -108,27 +150,49 @@ class Engine:
         "_refills",
         "_promoted",
         "_collapsed",
+        "_stop",
         "scheduler",
     )
 
     def __new__(cls, scheduler: Optional[str] = None):
-        # ``Engine("batch")`` transparently builds the cohort engine; the
+        # ``Engine("batch")`` transparently builds the cohort engine (the
         # subclass carries the numpy dependency so the pure-Python
-        # install path never imports it.
-        if cls is Engine and (
-            scheduler == "batch"
-            or (scheduler is None and default_scheduler() == "batch")
-        ):
-            from repro.sim.batch import BatchEngine
+        # install path never imports it); ``Engine("native")`` builds
+        # the compiled C scheduler the same way.  The native type is not
+        # an Engine subclass, so returning it skips ``__init__``
+        # entirely — exactly the duck-typed hand-off the runner and
+        # system expect.
+        if cls is Engine:
+            choice = scheduler if scheduler is not None else default_scheduler()
+            if choice == "batch":
+                from repro.sim.batch import BatchEngine
 
-            return object.__new__(BatchEngine)
+                return object.__new__(BatchEngine)
+            if choice == "native":
+                from repro.sim import native
+
+                if scheduler is None and not native.available():
+                    # Ambient selection falls back to wheel (with one
+                    # warning); __init__ resolves the same default and
+                    # applies the same fallback below.
+                    _ambient_native_fallback()
+                    return object.__new__(cls)
+                return native.load().NativeEngine()
         return object.__new__(cls)
 
     def __init__(self, scheduler: Optional[str] = None) -> None:
         if scheduler is None:
             scheduler = default_scheduler()
+            if scheduler == "native":
+                # Only reachable on the ambient fallback path: __new__
+                # already warned that the extension is not built.
+                scheduler = "wheel"
         if scheduler not in ("wheel", "heap"):
-            raise ValueError(f"unknown scheduler {scheduler!r}")
+            # Unknown names land here (batch/native requests were
+            # dispatched by __new__ before __init__ ran).
+            raise SimulationError(
+                f"unknown scheduler backend {scheduler!r}; " + backend_status()
+            )
         self.scheduler = scheduler
         self._near: list = []
         # ``heap`` mode is the wheel with an unreachable boundary: every
@@ -146,6 +210,25 @@ class Engine:
         self._refills = 0
         self._promoted = 0
         self._collapsed = scheduler != "wheel"
+        # request_stop() latch: consumed (cleared) by the run loop when
+        # it honors the request, NOT cleared at run() entry — a stop
+        # requested before run() begins (the zero-request edge) must
+        # stop the run after its first event, exactly as the old
+        # per-event ``stop_when`` predicate did.
+        self._stop = False
+
+    def request_stop(self) -> None:
+        """Stop the active :meth:`run` once the event now dispatching
+        completes.
+
+        The deterministic replacement for a per-event ``stop_when``
+        predicate: callers flip it from *inside* an event callback (the
+        system does, when the last transaction completes), and the loop
+        honors it at the same post-event boundary the predicate was
+        checked at — dispatch order and stopping event are identical,
+        without paying a Python-level predicate call per event.
+        """
+        self._stop = True
 
     def set_tracer(self, tracer) -> None:
         """Record every event dispatch into ``tracer`` (repro.obs).
@@ -298,6 +381,9 @@ class Engine:
                     self.now = time
                     callback(self, *args)
                     processed += 1
+                    if self._stop:
+                        self._stop = False
+                        return processed
                 if not self._refill():
                     return processed
         finally:
@@ -352,6 +438,9 @@ class Engine:
                     )
                 if stop_when is not None and stop_when():
                     return processed
+                if self._stop:
+                    self._stop = False
+                    return processed
         finally:
             self._pending -= processed
             self._events_processed += processed
@@ -400,6 +489,9 @@ class Engine:
                         "likely livelock"
                     )
                 if stop_when is not None and stop_when():
+                    return processed
+                if self._stop:
+                    self._stop = False
                     return processed
         finally:
             self._pending -= processed

@@ -61,6 +61,18 @@ class MemoryNetworkSystem:
         # bit-identical either way, so the choice is not part of the
         # job digest.
         self.engine = engine if engine is not None else Engine()
+        # The native backend compiles the network inner loop too: every
+        # input queue in the fabric is the C implementation (push/pop/
+        # head-key maintenance in C, identical semantics and counters).
+        # The pure-Python schedulers keep the pure-Python queue, so the
+        # wheel baseline stays an honest comparison point.
+        self._queue_cls = InputQueue
+        self._router_cls = Router
+        if getattr(self.engine, "scheduler", None) == "native":
+            from repro.sim.native import native_queue_class, native_router_class
+
+            self._queue_cls = native_queue_class()
+            self._router_cls = native_router_class()
         self.topology: Topology = build_topology(config)
         self.route_table = RouteTable(
             self.topology.adjacency_by_class(),
@@ -139,14 +151,18 @@ class MemoryNetworkSystem:
             spec = self.topology.nodes[node]
             context = self._arbiter_context()  # per-router arbiter state
             factory = make_arbiter_factory(self.config.arbiter, context)
-            router = Router(
+            router = self._router_cls(
                 node_id=node,
                 name=f"{spec.kind.name.lower()}{node}",
                 arbiter_factory=factory,
             )
             self._routers[node] = router
             if spec.kind == NodeKind.HOST:
-                self.host_node = HostNode(router, self.config.host.inject_queue_depth)
+                self.host_node = HostNode(
+                    router,
+                    self.config.host.inject_queue_depth,
+                    queue_cls=self._queue_cls,
+                )
             elif spec.kind == NodeKind.CUBE:
                 tech = self.config.dram if spec.tech == "DRAM" else self.config.nvm
                 self.cubes[node] = MemoryCube(
@@ -158,6 +174,7 @@ class MemoryNetworkSystem:
                     route_response=self._route_response,
                     bank_scale=self.config.capacity_scale,
                     pool=self.packet_pool,
+                    queue_cls=self._queue_cls,
                 )
             # SWITCH nodes are pure routers: no local output needed.
 
@@ -174,7 +191,7 @@ class MemoryNetworkSystem:
             if not link_config.full_duplex:
                 shared = SharedChannel(f"{edge.a}<->{edge.b}")
             for src, dst in ((edge.a, edge.b), (edge.b, edge.a)):
-                queue = InputQueue(
+                queue = self._queue_cls(
                     f"n{dst}.from{src}", link_config.input_buffer_packets
                 )
                 dst_router = self._routers[dst]
@@ -287,7 +304,12 @@ class MemoryNetworkSystem:
             return None
         from repro.obs import TraceRecorder
 
-        tracer = TraceRecorder(obs.trace_ring)
+        sample = obs.trace_sample
+        # Phase derived from the config seed: reproducible from the
+        # config alone, decorrelated from event alignment at the start
+        # of the run (phase 0 would always keep the very first event).
+        phase = derive_seed(self.config.seed, "obs.trace") % sample if sample > 1 else 0
+        tracer = TraceRecorder(obs.trace_ring, sample=sample, sample_phase=phase)
         if obs.trace_engine_events:
             self.engine.set_tracer(tracer)
         self.port.tracer = tracer
@@ -569,6 +591,11 @@ class MemoryNetworkSystem:
             # envelope, but are not latency samples
             if txn.complete_ps and txn.complete_ps > self.collector.last_complete_ps:
                 self.collector.last_complete_ps = txn.complete_ps
+        if self.port.done:
+            # The port flipped ``done`` immediately before this hook, so
+            # stopping here is the same event boundary the old
+            # per-event ``stop_when`` predicate stopped at.
+            engine.request_stop()
 
     # ------------------------------------------------------------------
     # execution
@@ -582,8 +609,17 @@ class MemoryNetworkSystem:
         self.port.start(self.engine)
         if max_events is None:
             max_events = 4000 * self.requests + 2_000_000
-        port = self.port  # bound locally: stop_when runs once per event
-        self.engine.run(max_events=max_events, stop_when=lambda: port.done)
+        if self.port.done:
+            # Zero-request run: nothing will ever complete, so nothing
+            # calls request_stop — pre-arm it so the run stops after
+            # its first event, exactly where the old per-event
+            # ``stop_when`` predicate stopped it.
+            self.engine.request_stop()
+        # Completion is signalled by request_stop from _transaction_done
+        # (the port flips ``done`` then invokes that hook within the
+        # same event), replacing a per-event predicate call with one
+        # flag check inside the dispatch loop.
+        self.engine.run(max_events=max_events)
         if not self.port.done:
             if self.auditor is not None:
                 # A broken invariant (leaked packet, lost credit) usually
@@ -639,6 +675,15 @@ class MemoryNetworkSystem:
             extra["overload.shed"] = float(port.shed)
             extra["overload.stale_responses"] = float(port.stale_responses)
             extra["overload.peak_backlog"] = float(port.peak_backlog)
+        obs = self.config.obs
+        if obs.attribution and (
+            obs.attribution_sample > 1 or obs.attribution_labels is not None
+        ):
+            # Sampled/masked attribution accounting.  Keyed only when
+            # the narrowing features are active so full-attribution and
+            # attribution-off result digests are untouched.
+            extra["obs.attribution_sample"] = float(obs.attribution_sample)
+            extra["obs.attribution_sampled"] = float(port.attribution_sampled)
         if self._ras is not None:
             extra.update(self._ras.counters())
             extra["ras.replays"] = float(

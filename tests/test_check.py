@@ -18,7 +18,7 @@ from repro.check import (
     set_audits,
 )
 from repro.serialization import result_digest
-from repro.sim.engine import WHEEL_SHIFT
+from repro.sim.engine import WHEEL_SHIFT, Engine
 from repro.system import MemoryNetworkSystem
 
 from conftest import fast_workload, run_sim, run_system, small_config
@@ -168,8 +168,14 @@ class TestInjectedDefects:
                 queue = link.dst_queue
                 if len(queue):
                     # Bypass pop(): no counter bump, no credit return.
-                    queue._items.popleft()
-                    queue._entry_times.popleft()
+                    items = queue._items
+                    if hasattr(items, "popleft"):
+                        items.popleft()
+                        queue._entry_times.popleft()
+                    else:
+                        # native C queue: _items is a plain list and the
+                        # entry-time view realigns itself
+                        del items[0]
                     return
             engine.schedule(10_000, leak)
 
@@ -179,7 +185,15 @@ class TestInjectedDefects:
         assert "queue.accounting" in excinfo.value.invariants()
 
     def test_stale_wheel_entry_caught(self):
-        system = _audited_system(requests=40)
+        # White-box: reaches into the timing wheel's far map, so pin
+        # the wheel scheduler regardless of any ambient REPRO_ENGINE.
+        system = MemoryNetworkSystem(
+            small_config(),
+            fast_workload(),
+            requests=40,
+            audit=True,
+            engine=Engine("wheel"),
+        )
         system.run()
         engine = system.engine
         # File a far-bucket entry without registering its bucket index
@@ -202,7 +216,7 @@ class TestInjectedDefects:
         assert violation.context["workload"] == "TEST"
         assert violation.context["seed"] == system.config.seed
         assert violation.context["requests"] == system.requests
-        assert violation.context["scheduler"] == "wheel"
+        assert violation.context["scheduler"] == system.engine.scheduler
         assert violation.context["point"] in ("final", "stall")
         # Each violation is a (invariant, component, detail) triple and
         # all of it lands in the printable message.

@@ -88,7 +88,9 @@ def test_batch_matches_heap_across_far_horizon():
     assert batch == heap
 
 
-def test_default_engine_is_wheel():
+def test_default_engine_is_wheel(monkeypatch):
+    # The *documented* default, independent of any ambient override.
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
     system = MemoryNetworkSystem(small_config(), fast_workload(), requests=1)
     assert system.engine.scheduler == "wheel"
 

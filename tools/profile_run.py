@@ -6,12 +6,19 @@ representative configuration, sort by cumulative or total time, and
 attack the top of the list.  Kept as a first-class tool so the next
 optimization round starts from a measurement, not a guess.
 
+Before the flat listing it prints a per-component rollup: every
+profiled frame is bucketed by the ``repro`` module that owns it
+(compiled-extension methods land in ``sim._native [C]``), and the
+buckets are ranked by the time spent in their own code.  That table
+answers "which component do I attack next" directly, without mentally
+summing a dozen pstats rows per file.
+
 Usage::
 
     PYTHONPATH=src python tools/profile_run.py [--requests N]
         [--workload NAME] [--label CONFIG] [--sort tottime|cumtime]
         [--limit N] [--obs] [--stats PATH]
-        [--engine {heap,wheel,batch}]
+        [--engine {heap,wheel,batch,native}]
 
 ``--stats PATH`` additionally dumps the raw pstats file for
 ``snakeviz``/``pstats`` post-processing.  ``--label`` accepts the same
@@ -23,6 +30,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import pstats
+import re
 import sys
 
 from repro.config import SystemConfig, parse_label
@@ -30,6 +38,47 @@ from repro.sim.engine import Engine
 from repro.system import MemoryNetworkSystem
 from repro.units import TIB_BYTES
 from repro.workloads import get_workload
+
+_NATIVE_FRAME = re.compile(r"\brepro\.sim\._native\b")
+
+
+def _component_of(frame_key: tuple) -> str:
+    """Bucket one pstats frame ``(filename, lineno, funcname)`` by the
+    repro component that owns it."""
+    filename, _lineno, funcname = frame_key
+    path = filename.replace("\\", "/")
+    marker = "/repro/"
+    at = path.rfind(marker)
+    if at >= 0:
+        module = path[at + len(marker):]
+        module = module[:-3] if module.endswith(".py") else module
+        parts = module.replace("/__init__", "").split("/")
+        # One level below the package keeps the table readable:
+        # net/link.py -> net.link, sim/engine.py -> sim.engine.
+        return ".".join(parts[:2]) if parts else "repro"
+    if _NATIVE_FRAME.search(funcname):
+        return "sim._native [C]"
+    if filename == "~" or filename.startswith("<"):
+        return "(interpreter built-ins)"
+    return "(stdlib/other)"
+
+
+def print_component_table(stats: pstats.Stats) -> None:
+    """Per-component self-time rollup over every profiled frame."""
+    totals: dict[str, tuple[float, int]] = {}
+    for frame_key, (_cc, ncalls, tottime, _ct, _callers) in stats.stats.items():
+        component = _component_of(frame_key)
+        self_s, calls = totals.get(component, (0.0, 0))
+        totals[component] = (self_s + tottime, calls + ncalls)
+    wall = sum(self_s for self_s, _ in totals.values()) or 1.0
+    print("\nper-component self time:")
+    print(f"  {'component':<24} {'self s':>8} {'share':>7} {'calls':>10}")
+    for component, (self_s, calls) in sorted(
+        totals.items(), key=lambda item: item[1][0], reverse=True
+    ):
+        print(
+            f"  {component:<24} {self_s:8.3f} {self_s / wall:6.1%} {calls:10d}"
+        )
 
 
 def profile_simulation(
@@ -68,6 +117,8 @@ def profile_simulation(
     if stats_path:
         stats.dump_stats(stats_path)
         print(f"raw stats written to {stats_path}")
+    print_component_table(stats)
+    print()
     stats.sort_stats(sort).print_stats(limit)
 
 
@@ -93,7 +144,7 @@ def main(argv=None) -> int:
         help="also dump the raw pstats file to PATH",
     )
     parser.add_argument(
-        "--engine", default=None, choices=("heap", "wheel", "batch"),
+        "--engine", default=None, choices=("heap", "wheel", "batch", "native"),
         help="event-scheduler backend to profile (default: the ambient "
         "one — REPRO_ENGINE or the wheel)",
     )
