@@ -40,6 +40,13 @@ from repro.config import (
     nvm_tech,
     parse_label,
 )
+from repro.fleet import (
+    FleetConfig,
+    FleetResult,
+    Tenant,
+    run_fleet,
+    uniform_fleet,
+)
 from repro.results import EnergyReport, LatencyBreakdown, SimResult, speedup_percent
 from repro.multiport import MultiPortResult, simulate_all_ports
 from repro.system import MemoryNetworkSystem, simulate
@@ -68,6 +75,11 @@ __all__ = [
     "simulate",
     "MultiPortResult",
     "simulate_all_ports",
+    "FleetConfig",
+    "FleetResult",
+    "Tenant",
+    "run_fleet",
+    "uniform_fleet",
     "SimResult",
     "EnergyReport",
     "LatencyBreakdown",

@@ -28,6 +28,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.check.auditor import InvariantAuditor
+from repro.check.fleet import check_fleet_conservation
 from repro.env import env_flag
 from repro.errors import InvariantViolation
 
@@ -36,6 +37,7 @@ __all__ = [
     "InvariantViolation",
     "audits",
     "audits_enabled",
+    "check_fleet_conservation",
     "set_audits",
 ]
 

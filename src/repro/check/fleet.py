@@ -1,0 +1,110 @@
+"""Fleet-level conservation audit.
+
+Single-system audits (:mod:`repro.check.auditor`) verify invariants
+*inside* one MN shard; this module verifies the invariant *across* the
+streaming fold: nothing a shard reported may be lost or double-counted
+on the way into the :class:`repro.fleet.FleetResult` rollup.  Because
+every fold path (per-tenant and fleet-total) consumes the same shard
+result exactly once, the tenant aggregates must re-merge into state
+bit-identical to the fleet total — any drift means a fold bug, not a
+simulation bug.
+
+Enabled the same way as all audits (:func:`repro.check.audits_enabled`);
+:func:`repro.fleet.run_fleet` invokes it automatically when audits are
+ambient.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolation
+
+
+def check_fleet_conservation(result) -> None:
+    """Verify tenant aggregates re-merge exactly into the fleet total.
+
+    Checks, over a completed (or partially folded) fleet result:
+
+    * shard conservation — folded shard count equals the sum of
+      per-tenant shard counts equals the fleet total's;
+    * counter conservation — every per-kind counter (reads, writes,
+      p2p, served, failed, ...) sums across tenants to the fleet total;
+    * sample conservation — latency-histogram sample counts, event
+      totals, and runtime sums across tenants equal the fleet total's.
+
+    Raises :class:`repro.errors.InvariantViolation` with the standard
+    ``(invariant, component, detail)`` triples on any mismatch.
+    """
+    from repro.fleet import TenantAggregate
+
+    merged = TenantAggregate()
+    for aggregate in result.tenants.values():
+        merged.merge(aggregate)
+    total = result.total
+    violations = []
+
+    if merged.shards != total.shards or total.shards != result.shards_folded:
+        violations.append(
+            (
+                "fleet-shard-conservation",
+                "fleet",
+                f"tenants sum to {merged.shards} shards, total has "
+                f"{total.shards}, folded {result.shards_folded}",
+            )
+        )
+
+    merged_counts = merged.counters.as_dict()
+    total_counts = total.counters.as_dict()
+    for name in sorted(set(merged_counts) | set(total_counts)):
+        left = merged_counts.get(name, 0)
+        right = total_counts.get(name, 0)
+        if left != right:
+            violations.append(
+                (
+                    "fleet-counter-conservation",
+                    f"counter:{name}",
+                    f"tenants sum to {left}, fleet total has {right}",
+                )
+            )
+
+    for attr in ("events", "runtime_ps_total", "runtime_ps_max"):
+        left = getattr(merged, attr)
+        right = getattr(total, attr)
+        if left != right:
+            violations.append(
+                (
+                    "fleet-counter-conservation",
+                    f"aggregate:{attr}",
+                    f"tenants give {left}, fleet total has {right}",
+                )
+            )
+
+    if merged.latency.count != total.latency.count:
+        violations.append(
+            (
+                "fleet-sample-conservation",
+                "latency-histogram",
+                f"tenants hold {merged.latency.count} samples, fleet "
+                f"total holds {total.latency.count}",
+            )
+        )
+    elif merged.latency.count and merged.latency.state() != total.latency.state():
+        violations.append(
+            (
+                "fleet-sample-conservation",
+                "latency-histogram",
+                "tenant histograms re-merge to different bucket state "
+                "than the fleet total",
+            )
+        )
+
+    if violations:
+        raise InvariantViolation(
+            violations,
+            {
+                "point": "fleet-fold",
+                "fleet": result.fleet_digest[:12],
+                "shards_folded": result.shards_folded,
+                "expected_shards": result.expected_shards,
+                "tenants": len(result.tenants),
+            },
+        )

@@ -156,6 +156,91 @@ def matrix_cases() -> List[MatrixCase]:
     return cases
 
 
+#: Per-shard request count for the fleet corpus (kept below the matrix
+#: scale: each fleet case runs several shards).
+FLEET_REQUESTS = 60
+FLEET_SHARDS = 6
+
+
+def fleet_cases() -> List[Tuple[str, "FleetConfig"]]:
+    """Named fleet configurations of the golden corpus, in stable order.
+
+    Three cases pin the fleet layer end to end: a heterogeneous
+    multi-topology fleet with the transparent default tenant (``base``),
+    the same shards under a skewed/rate-scaled two-tenant registry
+    (``skew``), and the same shards with staggered per-shard permanent
+    faults (``ras``).  Each golden records the streaming
+    :meth:`repro.fleet.FleetResult.digest`, which certifies fold-order
+    and worker-count invariance on every corpus run.
+    """
+    from repro.fleet import FleetConfig, Tenant
+
+    mix = ("chain", "skiplist", "metacube")
+    shards = tuple(
+        _matrix_config(topology=mix[i % len(mix)])
+        for i in range(FLEET_SHARDS)
+    )
+    workload = _matrix_workload()
+    cases: List[Tuple[str, FleetConfig]] = []
+    cases.append((
+        "fleet/base",
+        FleetConfig(
+            shards=shards, workload=workload,
+            requests_per_shard=FLEET_REQUESTS,
+        ),
+    ))
+    cases.append((
+        "fleet/skew",
+        FleetConfig(
+            shards=shards,
+            workload=workload,
+            tenants=(
+                Tenant("bulk", weight=2.0, skew=0.6),
+                Tenant("hot", weight=1.0, rate_scale=2.0),
+            ),
+            requests_per_shard=FLEET_REQUESTS,
+        ),
+    ))
+    cases.append((
+        "fleet/ras",
+        FleetConfig(
+            shards=tuple(
+                shard.with_ras(cube_failures=((1, 200_000 + 50_000 * i),))
+                if i % 2 == 0 else shard
+                for i, shard in enumerate(shards)
+            ),
+            workload=workload,
+            requests_per_shard=FLEET_REQUESTS,
+        ),
+    ))
+    return cases
+
+
+def run_fleet_case(fleet, audit: bool = True) -> Dict[str, object]:
+    """Run one fleet case on a fresh serial runner; reduce to a golden.
+
+    The digest is :meth:`repro.fleet.FleetResult.digest` — identical
+    for any fold order, worker count, scheduler engine, and cache
+    temperature, so this entry also re-certifies the fleet determinism
+    contract on every verification run.
+    """
+    from repro.check import audits
+    from repro.fleet import run_fleet
+    from repro.runner import ParallelRunner
+
+    with audits(audit):
+        result = run_fleet(fleet, runner=ParallelRunner(jobs=1))
+    total = result.total
+    p99 = total.percentile_ns(0.99)
+    return {
+        "digest": result.digest(),
+        "shards": result.shards_folded,
+        "requests": total.requests,
+        "availability": round(total.availability, 6),
+        "p99_latency_ns": None if p99 is None else round(p99, 6),
+    }
+
+
 def run_matrix_case(
     config: SystemConfig,
     requests: int = MATRIX_REQUESTS,
@@ -186,11 +271,18 @@ def run_matrix_case(
 
 
 def compute_matrix(audit: bool = True) -> Dict[str, Dict[str, object]]:
-    """Run the whole matrix; returns ``{case name: golden entry}``."""
-    return {
+    """Run the whole matrix; returns ``{case name: golden entry}``.
+
+    Fleet cases ride in the same corpus (keys ``fleet/*``) so one
+    snapshot pins single-MN and fleet-level behaviour together.
+    """
+    out = {
         name: run_matrix_case(config, audit=audit, workload=workload)
         for name, config, workload in matrix_cases()
     }
+    for name, fleet in fleet_cases():
+        out[name] = run_fleet_case(fleet, audit=audit)
+    return out
 
 
 def compute_experiments(

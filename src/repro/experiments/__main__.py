@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 import time
@@ -39,6 +40,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="simulation worker processes (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="largest fleet size for fleet experiments (ignored by "
+        "experiments that take no 'shards' parameter)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -135,13 +143,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         run = get_experiment(experiment_id)
         started = time.time()
         simulated_before = runner.simulations_run
+        kwargs = {
+            "requests": args.requests,
+            "workloads": workloads,
+            "base_config": base_config,
+        }
+        # Experiment-specific knobs only reach experiments that declare
+        # the matching parameter (e.g. --shards -> fleet_scale).
+        if args.shards is not None:
+            if "shards" in inspect.signature(run).parameters:
+                kwargs["shards"] = args.shards
         if profiler is not None:
             profiler.enable()
-        output = run(
-            requests=args.requests,
-            workloads=workloads,
-            base_config=base_config,
-        )
+        output = run(**kwargs)
         if profiler is not None:
             profiler.disable()
         elapsed = time.time() - started

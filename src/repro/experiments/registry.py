@@ -26,6 +26,7 @@ from repro.experiments import (
     fig13,
     fig14,
     fig15,
+    fleet_scale,
     table01,
     table02,
 )
@@ -56,6 +57,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
     "ablation_window": ablation_window.run,
     "ablation_buffers": ablation_buffers.run,
     "analysis_parking_lot": analysis_parking_lot.run,
+    "fleet_scale": fleet_scale.run,
 }
 
 

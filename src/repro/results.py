@@ -319,6 +319,29 @@ class SimResult:
             return 0.0
         return self.requests_served / (self.runtime_ps * 1e-12)
 
+    # -- fleet extras schema -------------------------------------------------
+    def per_kind_counts(self) -> Dict[str, int]:
+        """Exact per-kind request counters, the fleet aggregation schema.
+
+        This is the one place that names the integer counters a
+        fleet-level fold consumes (:mod:`repro.fleet`) and that the
+        fleet conservation invariant re-sums
+        (:func:`repro.check.check_fleet_conservation`): per kind, the
+        sum over a fleet's shards must equal the fleet totals exactly.
+        Keys absent from a run (no p2p, no overload) report zero.
+        """
+        return {
+            "reads": self.collector.reads,
+            "writes": self.collector.writes,
+            "p2p": self.collector.p2p,
+            "served": self.requests_served or self.collector.count,
+            "failed": self.requests_failed,
+            "timed_out": self.requests_timed_out,
+            "shed": self.requests_shed,
+            "row_hits": self.collector.row_hits,
+            "nvm_accesses": self.collector.nvm_accesses,
+        }
+
     def speedup_over(self, baseline: "SimResult") -> float:
         """Relative speedup vs a baseline run (0.0 == same runtime)."""
         if self.runtime_ps <= 0:

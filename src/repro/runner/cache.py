@@ -134,6 +134,16 @@ class ResultCache:
     def clear_memory(self) -> None:
         self._memory.clear()
 
+    def drop_memory(self, digest: str) -> None:
+        """Evict one entry from the memory layer.
+
+        Streaming folds (:meth:`repro.runner.ParallelRunner.run_fold`)
+        call this right after consuming a result so fleet-scale batches
+        never accumulate per-shard detail in memory; with a disk layer
+        configured the entry stays warm on disk.
+        """
+        self._memory.pop(digest, None)
+
     def stats(self) -> Dict[str, int]:
         return {
             "memory_hits": self.memory_hits,

@@ -41,7 +41,7 @@ JOB_DIGEST_VERSION = "repro-job-v3"
 #: setting enters the tree (and the digest) as usual.
 _DIGEST_TRANSPARENT = {
     "SystemConfig": frozenset({"overload"}),
-    "WorkloadSpec": frozenset({"arrival", "on_fraction", "on_burst"}),
+    "WorkloadSpec": frozenset({"arrival", "on_fraction", "on_burst", "skew"}),
     "ObsConfig": frozenset(
         {"attribution_sample", "attribution_labels", "trace_sample"}
     ),

@@ -29,6 +29,13 @@ Robustness (the RAS PR's runner hardening):
   raises, as a :class:`repro.errors.RunnerError` carrying the failing
   job's digest and config summary.
 
+``run_fold`` is the streaming sibling of ``run`` for fleet-scale
+batches (:mod:`repro.fleet`): results are handed to a commutative fold
+callback the moment they complete — cache hits included — and then
+evicted from the cache's memory layer (when a disk layer holds them),
+so a thousand-shard batch never materializes a thousand results in one
+process.
+
 A module-level *ambient* runner lets high-level entry points
 (:func:`repro.system.simulate`, :class:`repro.sweep.Sweep`,
 :class:`repro.analysis.speedup.SpeedupGrid`) share one cache and one
@@ -62,6 +69,15 @@ POOL_RETRIES = 1
 
 #: Backoff before respawning a broken pool (seconds, scaled by attempt).
 POOL_RESPAWN_BACKOFF_S = 0.25
+
+#: Chunk-size ceiling for streaming folds: :meth:`ParallelRunner.run_fold`
+#: holds at most one in-flight chunk of results per worker, so capping
+#: the chunk keeps peak resident memory independent of batch size.
+FOLD_CHUNK_CAP = 16
+
+#: Placeholder recorded for a result that was folded and released
+#: instead of retained (streaming mode).
+_FOLDED = object()
 
 _warned_bad_jobs_env = False
 
@@ -243,17 +259,97 @@ class ParallelRunner:
             out.append(value)
         return out
 
+    def run_fold(
+        self,
+        batch: Sequence[SimJob],
+        fold,
+        on_error: str = "raise",
+    ) -> List[Optional[JobFailure]]:
+        """Execute a batch, streaming each result into ``fold`` instead
+        of returning it.
+
+        ``fold(index, job, result)`` is invoked once per *input
+        position* (duplicate digests fold the shared result once per
+        occurrence) in completion order, which is not deterministic
+        under parallel execution — folds must therefore be commutative
+        (see :class:`repro.sim.stats.TailAccumulator`).  After a digest's
+        positions are folded, its entry is evicted from the cache's
+        memory layer (kept on disk when a disk layer is configured), so
+        peak resident memory is bounded by the in-flight worker chunks,
+        not by the batch size.  With a memory-only cache the entries are
+        retained — evicting them would silently forfeit warm replay.
+
+        Caching, dedup, checkpointing, the watchdog, and the
+        ``on_error`` contract all match :meth:`run`; the return value is
+        aligned with the input, ``None`` for folded jobs and
+        :class:`JobFailure` rows under ``on_error="collect"``.
+        """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be 'raise' or 'collect', not {on_error!r}")
+        digests = [job.digest() for job in batch]
+        positions: Dict[str, List[int]] = {}
+        for index, digest in enumerate(digests):
+            positions.setdefault(digest, []).append(index)
+
+        def deliver(digest: str, result: SimResult) -> None:
+            for index in positions[digest]:
+                fold(index, batch[index], result)
+            if self.cache.persistent:
+                self.cache.drop_memory(digest)
+
+        results: Dict[str, Union[SimResult, JobFailure, None]] = {}
+        pending: List[SimJob] = []
+        for job, digest in zip(batch, digests):
+            if digest in results:
+                continue  # duplicate within the batch
+            cached = self.cache.get(digest)
+            if cached is not None:
+                results[digest] = _FOLDED  # type: ignore[assignment]
+                deliver(digest, cached)
+            else:
+                results[digest] = None  # reserve slot, keep first occurrence
+                pending.append(job)
+        if pending:
+            self._execute(pending, results, sink=deliver)
+            self.simulations_run += sum(
+                1 for job in pending if results[job.digest()] is _FOLDED
+            )
+        checkpointed = sum(1 for value in results.values() if value is _FOLDED)
+        for value in results.values():
+            if isinstance(value, JobFailure):
+                value.checkpointed = checkpointed
+        out: List[Optional[JobFailure]] = []
+        for digest in digests:
+            value = results[digest]
+            if isinstance(value, JobFailure):
+                if on_error == "raise":
+                    raise value.to_error()
+                out.append(value)
+            else:
+                out.append(None)
+        return out
+
     # ------------------------------------------------------------------
     def _complete(
         self,
         results: Dict[str, Union[SimResult, JobFailure, None]],
         job: SimJob,
         result: SimResult,
+        sink=None,
     ) -> None:
-        """Record a success and checkpoint it to the cache immediately."""
+        """Record a success and checkpoint it to the cache immediately.
+
+        With a ``sink`` (streaming fold), the result is handed off and
+        only a placeholder is retained, so the batch's results never
+        accumulate in this process.
+        """
         digest = job.digest()
-        results[digest] = result
         self.cache.put(digest, result)
+        if sink is None:
+            results[digest] = result
+        else:
+            results[digest] = _FOLDED  # type: ignore[assignment]
+            sink(digest, result)
 
     @staticmethod
     def _fail(
@@ -275,6 +371,7 @@ class ParallelRunner:
         self,
         pending: List[SimJob],
         results: Dict[str, Union[SimResult, JobFailure, None]],
+        sink=None,
     ) -> None:
         workers = min(self.jobs, len(pending))
         if workers <= 1:
@@ -285,21 +382,29 @@ class ParallelRunner:
                     self._fail(results, job, f"{type(exc).__name__}: {exc}",
                                "exception", 1)
                 else:
-                    self._complete(results, job, result)
+                    self._complete(results, job, result, sink)
             return
-        self._execute_parallel(pending, results, workers)
+        self._execute_parallel(pending, results, workers, sink)
 
-    def _chunk_size(self, pending_count: int, workers: int) -> int:
+    def _chunk_size(
+        self, pending_count: int, workers: int, streaming: bool = False
+    ) -> int:
         """Jobs per worker round-trip.
 
         Four chunks per worker balances pickling amortization against
         tail imbalance (a worker stuck with the one slow chunk).  The
         watchdog needs per-job starts, so an armed ``job_timeout_s``
-        forces single-job chunks.
+        forces single-job chunks.  Streaming folds additionally cap the
+        chunk at :data:`FOLD_CHUNK_CAP` so the per-chunk result list —
+        the only place a fold holds multiple results at once — stays
+        bounded regardless of batch size.
         """
         if self.job_timeout_s is not None:
             return 1
-        return max(1, -(-pending_count // (workers * 4)))
+        size = max(1, -(-pending_count // (workers * 4)))
+        if streaming:
+            size = min(size, FOLD_CHUNK_CAP)
+        return size
 
     def _requeue_broken(
         self,
@@ -329,9 +434,10 @@ class ParallelRunner:
         pending: List[SimJob],
         results: Dict[str, Union[SimResult, JobFailure, None]],
         workers: int,
+        sink=None,
     ) -> None:
         attempts: Dict[str, int] = {job.digest(): 0 for job in pending}
-        size = self._chunk_size(len(pending), workers)
+        size = self._chunk_size(len(pending), workers, streaming=sink is not None)
         queue: deque = deque(
             pending[i:i + size] for i in range(0, len(pending), size)
         )
@@ -376,7 +482,7 @@ class ParallelRunner:
                     else:
                         for job, (status, payload) in zip(chunk, statuses):
                             if status == "ok":
-                                self._complete(results, job, payload)
+                                self._complete(results, job, payload, sink)
                             else:
                                 self._fail(results, job, payload,
                                            "exception", attempts[job.digest()])

@@ -3,7 +3,17 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+
+class HistogramShapeError(ValueError):
+    """Two histograms with different bucket shapes were merged.
+
+    Merging a ``width x count`` histogram into one with different bin
+    edges would silently misbin every sample; the mismatch is raised by
+    name instead.  Subclasses :class:`ValueError` so pre-existing
+    callers that caught the generic error keep working.
+    """
 
 
 class RunningStat:
@@ -137,12 +147,16 @@ class Histogram:
         return float(self.stat.max), True
 
     def merge(self, other: "Histogram") -> None:
-        """Fold another histogram into this one (bucket-wise)."""
+        """Fold another histogram into this one (bucket-wise).
+
+        Raises :class:`HistogramShapeError` when the bin edges differ —
+        merging across shapes would misbin silently.
+        """
         if (
             other.bucket_width != self.bucket_width
             or len(other.buckets) != len(self.buckets)
         ):
-            raise ValueError(
+            raise HistogramShapeError(
                 f"cannot merge histograms with different shapes: "
                 f"{self.bucket_width}x{len(self.buckets)} vs "
                 f"{other.bucket_width}x{len(other.buckets)}"
@@ -153,6 +167,184 @@ class Histogram:
         self.underflow += other.underflow
         self.overflow += other.overflow
         self.stat.merge(other.stat)
+
+
+class TailAccumulator:
+    """Order-invariant streaming fold of :class:`Histogram` tails.
+
+    The fleet layer folds thousands of per-shard histograms in whatever
+    order jobs complete, and its results must be bit-identical between
+    ``--jobs 1`` and ``--jobs N``.  :meth:`Histogram.merge` cannot give
+    that guarantee: its Welford moment merge accumulates floating-point
+    error that depends on fold order.  This accumulator keeps only the
+    *exactly* commutative parts — integer bucket counts, min/max
+    comparisons, and a running total that stays exact for the simulator's
+    integer-valued picosecond samples — so any fold order over any
+    partition of the same histograms produces the same state.
+
+    An accumulator starts shapeless and adopts the shape of the first
+    histogram folded into it; a later histogram with different bin edges
+    raises :class:`HistogramShapeError`.
+
+    Percentiles mirror :meth:`Histogram.percentile_detail` (bucket
+    midpoints, tails clamped to observed extremes) with one deliberate
+    difference: an *empty* accumulator reports ``None`` instead of
+    ``0.0``, so shards that completed zero requests cannot poison a
+    fleet percentile downward.
+    """
+
+    __slots__ = (
+        "bucket_width",
+        "buckets",
+        "underflow",
+        "overflow",
+        "count",
+        "min",
+        "max",
+        "total",
+    )
+
+    def __init__(self) -> None:
+        self.bucket_width: Optional[float] = None
+        self.buckets: List[int] = []
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.total = 0.0
+
+    @property
+    def shaped(self) -> bool:
+        return self.bucket_width is not None
+
+    def _adopt_or_check(self, bucket_width: float, num_buckets: int) -> None:
+        if self.bucket_width is None:
+            self.bucket_width = bucket_width
+            self.buckets = [0] * num_buckets
+            return
+        if bucket_width != self.bucket_width or num_buckets != len(self.buckets):
+            raise HistogramShapeError(
+                f"cannot fold histograms with different shapes: "
+                f"{self.bucket_width}x{len(self.buckets)} vs "
+                f"{bucket_width}x{num_buckets}"
+            )
+
+    def _fold_extremes(
+        self, lo: Optional[float], hi: Optional[float], total: float
+    ) -> None:
+        if lo is not None and (self.min is None or lo < self.min):
+            self.min = lo
+        if hi is not None and (self.max is None or hi > self.max):
+            self.max = hi
+        self.total += total
+
+    def fold(self, hist: Histogram) -> None:
+        """Fold one histogram's tail state in (exact, order-invariant)."""
+        if hist.count == 0:
+            # Shapeless empties stay shapeless: an empty shard must not
+            # pin the fleet to its (arbitrary) bucket geometry either.
+            return
+        self._adopt_or_check(hist.bucket_width, len(hist.buckets))
+        for i, n in enumerate(hist.buckets):
+            if n:
+                self.buckets[i] += n
+        self.underflow += hist.underflow
+        self.overflow += hist.overflow
+        self.count += hist.stat.count
+        self._fold_extremes(hist.stat.min, hist.stat.max, hist.stat.total)
+
+    def merge(self, other: "TailAccumulator") -> None:
+        """Fold another accumulator in (same exactness guarantees)."""
+        if other.count == 0:
+            return
+        self._adopt_or_check(other.bucket_width, len(other.buckets))
+        for i, n in enumerate(other.buckets):
+            if n:
+                self.buckets[i] += n
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        self._fold_extremes(other.min, other.max, other.total)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Percentile from bucket midpoints; ``None`` when empty.
+
+        Same clamping as :meth:`Histogram.percentile_detail`: a fraction
+        landing in the underflow/overflow tail reports the observed
+        min/max instead of fabricating a midpoint.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return None
+        target = fraction * self.count
+        seen = self.underflow
+        if self.underflow and seen >= target:
+            return float(self.min)
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                return (i + 0.5) * self.bucket_width
+        return float(self.max)
+
+    def state(self) -> Dict[str, object]:
+        """Canonical JSON-able dump (sparse buckets), for fleet digests."""
+        return {
+            "bucket_width": self.bucket_width,
+            "num_buckets": len(self.buckets),
+            "buckets": [[i, n] for i, n in enumerate(self.buckets) if n],
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "total": self.total,
+        }
+
+
+class CounterBag:
+    """Named integer counters with exact, order-invariant merging.
+
+    The streaming-aggregation counterpart of :class:`StatsRegistry`'s
+    counter half: integer addition commutes exactly, so a bag folded in
+    any completion order holds identical values.  Non-integral amounts
+    are rejected rather than silently truncated — fleet per-kind
+    conservation (shard sums == fleet totals) only holds over exact
+    arithmetic.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: Union[int, float] = 1) -> None:
+        if isinstance(amount, float):
+            if not amount.is_integer():
+                raise ValueError(
+                    f"counter {name!r}: non-integral amount {amount!r}"
+                )
+            amount = int(amount)
+        if amount:
+            self.counts[name] = self.counts.get(name, 0) + amount
+
+    def fold_dict(self, mapping: Mapping[str, Union[int, float]]) -> None:
+        for name, amount in mapping.items():
+            self.add(name, amount)
+
+    def merge(self, other: "CounterBag") -> None:
+        self.fold_dict(other.counts)
+
+    def get(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: self.counts[name] for name in sorted(self.counts)}
 
 
 class StatsRegistry:

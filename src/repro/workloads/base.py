@@ -75,6 +75,15 @@ class WorkloadSpec:
     arrival: str = ARRIVAL_CLOSED
     on_fraction: float = 1.0  # fraction of time spent in ON periods
     on_burst: float = 32.0  # mean requests per ON period (geometric)
+    # Address-stream popularity skew (approximate Zipf).  0.0 keeps the
+    # uniform footprint draw — and therefore the RNG stream and every
+    # digest — bit-identical to pre-skew behaviour.  Values in (0, 1)
+    # concentrate sequential-run starts onto a hot set at the low end of
+    # the footprint: run starts draw ``u ** (1 / (1 - skew))`` scaled to
+    # the footprint, the standard bounded-Pareto approximation of Zipf
+    # popularity (skew 0.99 ~ a few percent of lines take most traffic).
+    # The fleet layer uses this for per-tenant skewed streams.
+    skew: float = 0.0
     description: str = ""
 
     def validate(self) -> None:
@@ -102,6 +111,8 @@ class WorkloadSpec:
             raise WorkloadError(f"{self.name}: on_fraction out of range")
         if self.on_burst < 1.0:
             raise WorkloadError(f"{self.name}: on_burst must be >= 1")
+        if not 0.0 <= self.skew < 1.0:
+            raise WorkloadError(f"{self.name}: skew must be in [0, 1)")
 
     @property
     def is_open_loop(self) -> bool:

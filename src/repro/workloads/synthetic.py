@@ -99,7 +99,17 @@ class SyntheticWorkload:
 
     def _next_line(self) -> int:
         if self._run_remaining <= 0:
-            self._run_line = self.rng.randrange(self.footprint_lines)
+            skew = self.spec.skew
+            if skew:
+                # Approximate-Zipf hot-set draw (bounded Pareto): mass
+                # concentrates toward line 0 as skew -> 1.  Guarded so a
+                # skew-free spec keeps the randrange draw — and its RNG
+                # stream/digests — bit-identical to pre-skew behaviour.
+                u = self.rng.random()
+                line = int(self.footprint_lines * u ** (1.0 / (1.0 - skew)))
+                self._run_line = min(line, self.footprint_lines - 1)
+            else:
+                self._run_line = self.rng.randrange(self.footprint_lines)
             self._run_remaining = self.rng.geometric_run(self.spec.locality_lines)
         line = self._run_line
         self._run_line = (self._run_line + 1) % self.footprint_lines

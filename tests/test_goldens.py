@@ -17,7 +17,9 @@ import pytest
 from repro.check.goldens import (
     compute_experiments,
     diff_goldens,
+    fleet_cases,
     matrix_cases,
+    run_fleet_case,
     run_matrix_case,
 )
 from repro.experiments.registry import experiment_ids
@@ -25,6 +27,7 @@ from repro.experiments.registry import experiment_ids
 GOLDENS = Path(__file__).parent / "goldens"
 
 _CASES = matrix_cases()
+_FLEET_CASES = fleet_cases()
 
 #: Cheap, structurally diverse spot-checks of the experiment corpus.
 SPOT_EXPERIMENTS = ["fig04", "fig10", "analysis_parking_lot"]
@@ -50,7 +53,23 @@ class TestMatrixGoldens:
 
     def test_no_orphan_goldens(self):
         live = {name for name, _, _ in _CASES}
+        live |= {name for name, _ in _FLEET_CASES}
         assert set(_load("matrix")) == live
+
+
+class TestFleetGoldens:
+    @pytest.mark.parametrize(
+        "name,fleet", _FLEET_CASES, ids=[name for name, _ in _FLEET_CASES]
+    )
+    def test_fleet_case_reproduces_golden(self, name, fleet):
+        recorded = _load("matrix")
+        assert name in recorded, (
+            f"fleet case {name!r} has no golden; run "
+            "`python tools/regen_goldens.py --only matrix`"
+        )
+        entry = run_fleet_case(fleet, audit=True)
+        report = diff_goldens({name: recorded[name]}, {name: entry})
+        assert not report, "\n".join(report)
 
 
 class TestExperimentGoldens:
